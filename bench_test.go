@@ -1,0 +1,138 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// regenerates its experiment end-to-end (all machines, all workloads)
+// with truncated run lengths so a -bench=. pass stays tractable; the
+// qualitative relationships the paper reports are stable under the
+// truncation (see EXPERIMENTS.md). Full-length regeneration is
+// `go run ./cmd/validate`.
+
+import (
+	"testing"
+
+	"repro/internal/validate"
+)
+
+// benchOpt truncates each workload; experiments still run every
+// machine on every benchmark.
+var benchOpt = validate.Options{Limit: 15_000}
+
+// BenchmarkTable1 measures the instruction-latency conformance table
+// (Table 1): nine dependent-chain kernels on sim-alpha.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := validate.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the microbenchmark validation (Table
+// 2): 21 microbenchmarks across the native machine, sim-initial,
+// sim-alpha and sim-outorder.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := validate.Table2(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeanAlphaErr >= res.MeanInitialErr {
+			b.Fatal("validation did not reduce error")
+		}
+	}
+}
+
+// BenchmarkMemCalibration regenerates the Section 4.2 DRAM parameter
+// sweep: 48 configurations against the native machine on M-M, STREAM
+// and lmbench.
+func BenchmarkMemCalibration(b *testing.B) {
+	opt := validate.Options{Limit: 20_000}
+	for i := 0; i < b.N; i++ {
+		if _, err := validate.MemoryCalibration(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the macrobenchmark validation (Table
+// 3): ten SPEC2000 proxies across four machines.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := validate.Table3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OutorderHMean <= res.NativeHMean {
+			b.Fatal("sim-outorder not optimistic")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the feature ablation (Table 4): ten
+// single-feature-removed configurations on the macro suite.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := validate.Table4(benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the stability matrix (Table 5): three
+// optimizations across thirteen simulator configurations.
+func BenchmarkTable5(b *testing.B) {
+	opt := validate.Options{Limit: 8_000}
+	for i := 0; i < b.N; i++ {
+		if _, err := validate.Table5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the register-file sensitivity study
+// (Figure 2): three register-file configurations on the abstract
+// 8-way simulator and on sim-alpha.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := validate.Figure2(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AbstractHMean[0] <= res.AlphaHMean[0] {
+			b.Fatal("abstract simulator not optimistic")
+		}
+	}
+}
+
+// BenchmarkSimAlphaThroughput measures the simulator itself: dynamic
+// instructions simulated per second on the validated model.
+func BenchmarkSimAlphaThroughput(b *testing.B) {
+	m := SimAlpha()
+	w, _ := WorkloadByName("E-I")
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Instructions
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkNativeThroughput does the same for the reference machine.
+func BenchmarkNativeThroughput(b *testing.B) {
+	m := NativeDS10L()
+	w, _ := WorkloadByName("E-I")
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Instructions
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}

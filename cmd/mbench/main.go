@@ -1,0 +1,99 @@
+// Command mbench lists the workload suites and disassembles their
+// programs.
+//
+// Usage:
+//
+//	mbench list
+//	mbench disasm <workload>
+//	mbench save   <workload> <out.axpl>   (object file)
+//	mbench trace  <workload> <out.axpt>   (dynamic trace)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		fmt.Println("microbenchmarks:")
+		for _, w := range repro.Microbenchmarks() {
+			fmt.Printf("  %-8s (%s, %d instructions of code)\n",
+				w.Name, w.Category, len(w.Prog.Code))
+		}
+		fmt.Println("calibration:")
+		for _, w := range repro.CalibrationWorkloads() {
+			fmt.Printf("  %-8s (%s, %d instructions of code)\n",
+				w.Name, w.Category, len(w.Prog.Code))
+		}
+		fmt.Println("macrobenchmarks:")
+		for _, w := range repro.Macrobenchmarks() {
+			fmt.Printf("  %-8s (%s, %d instructions of code)\n",
+				w.Name, w.Category, len(w.Prog.Code))
+		}
+	case "disasm":
+		w := lookup(2)
+		fmt.Print(w.Prog.Disassemble())
+	case "save":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		w := lookup(2)
+		f := create(os.Args[3])
+		defer f.Close()
+		if err := repro.SaveProgram(f, w.Prog); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d instructions)\n", os.Args[3], len(w.Prog.Code))
+	case "trace":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		w := lookup(2)
+		f := create(os.Args[3])
+		defer f.Close()
+		n, err := repro.RecordTrace(f, w)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d dynamic records)\n", os.Args[3], n)
+	default:
+		usage()
+	}
+}
+
+func lookup(arg int) repro.Workload {
+	if len(os.Args) <= arg {
+		usage()
+	}
+	w, ok := repro.WorkloadByName(os.Args[arg])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", os.Args[arg])
+		os.Exit(2)
+	}
+	return w
+}
+
+func create(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mbench list | disasm <w> | save <w> <f.axpl> | trace <w> <f.axpt>")
+	os.Exit(2)
+}

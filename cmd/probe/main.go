@@ -1,0 +1,5 @@
+package main
+
+import "fmt"
+
+func main() { fmt.Println("placeholder") }

@@ -1,0 +1,41 @@
+// Command validate regenerates the paper's tables and figures
+// against the in-repo reference machine. With no argument it runs
+// everything; pass table1, table2, sampling, memcal, table3, table4,
+// table5, figure2 or mapping
+// to run one experiment.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/validate"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	var opt validate.Options
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if which != "all" && which != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	run("table1", func() (fmt.Stringer, error) { return validate.Table1() })
+	run("table2", func() (fmt.Stringer, error) { return validate.Table2(opt) })
+	run("sampling", func() (fmt.Stringer, error) { return validate.SamplingStudy(opt) })
+	run("memcal", func() (fmt.Stringer, error) { return validate.MemoryCalibration(opt) })
+	run("table3", func() (fmt.Stringer, error) { return validate.Table3(opt) })
+	run("table4", func() (fmt.Stringer, error) { return validate.Table4(opt) })
+	run("table5", func() (fmt.Stringer, error) { return validate.Table5(opt) })
+	run("figure2", func() (fmt.Stringer, error) { return validate.Figure2(opt) })
+	run("mapping", func() (fmt.Stringer, error) { return validate.MappingStudy(opt) })
+}

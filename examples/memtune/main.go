@@ -1,0 +1,21 @@
+// Memtune: rerun the paper's Section 4.2 memory-system calibration:
+// sweep DRAM RAS/CAS/precharge/controller latencies and the page
+// policy, and find the configuration minimizing error against the
+// reference machine on M-M, STREAM and lmbench.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cal, err := repro.MemoryCalibration(repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cal)
+	fmt.Println("\nthe paper's pick was: open page, RAS 2, CAS 4, precharge 2, controller 2")
+}

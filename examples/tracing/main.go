@@ -1,0 +1,57 @@
+// Tracing: record a workload's dynamic instruction stream to a trace
+// file, replay it through two machines, and watch one instruction's
+// trip through the validated pipeline — the trace-driven workflow
+// plus the ptrace-style pipeline view.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "repro-tracing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ccb.axpt")
+
+	w, _ := repro.WorkloadByName("C-Cb")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := repro.RecordTrace(f, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("recorded %d dynamic instructions to %s\n\n", n, filepath.Base(path))
+
+	replay := repro.WorkloadFromTrace("C-Cb", path)
+	for _, m := range []repro.Machine{repro.SimAlpha(), repro.SimOutorder()} {
+		res, err := m.Run(replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s replayed at IPC %.3f\n", res.Machine, res.IPC())
+	}
+
+	// A window of the pipeline event trace.
+	fmt.Println("\npipeline view (instructions 40-55):")
+	var sb strings.Builder
+	traced := repro.SimAlphaTraced(&sb)
+	if _, err := traced.Run(replay); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	for i := 40; i < 56 && i < len(lines); i++ {
+		fmt.Println(lines[i])
+	}
+}

@@ -1,0 +1,851 @@
+package alpha
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/predict"
+)
+
+// Machine is a 21264-family timing model built from a Config. It
+// implements core.Machine; each Run constructs fresh pipeline state.
+type Machine struct {
+	cfg Config
+}
+
+// New returns a machine for the configuration. It panics on a
+// degenerate configuration (see Config.Check), which is a programming
+// error rather than a runtime condition.
+func New(cfg Config) *Machine {
+	if err := cfg.Check(); err != nil {
+		panic(err)
+	}
+	return &Machine{cfg: cfg}
+}
+
+// Name implements core.Machine.
+func (m *Machine) Name() string { return m.cfg.MachineName }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Run implements core.Machine.
+func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
+	s := newSim(m.cfg, w.Source())
+	if err := s.run(); err != nil {
+		return core.RunResult{}, fmt.Errorf("%s/%s: %w", m.cfg.MachineName, w.Name, err)
+	}
+	return core.RunResult{
+		Machine:      m.cfg.MachineName,
+		Workload:     w.Name,
+		Instructions: s.retired,
+		Cycles:       s.cycle,
+		Counters:     s.counters(),
+	}, nil
+}
+
+// entry is one in-flight instruction in the reorder buffer.
+type entry struct {
+	rec  cpu.Record
+	inum uint64
+	cls  isa.Class
+
+	hasDest bool
+	dest    isa.RegRef
+	srcs    [3]uint64 // producer inums (0 = none/ready)
+	nsrc    int
+
+	availAt uint64 // fetch delivery cycle (eligible to map)
+	mapped  bool
+	mapAt   uint64
+	dropped bool // unop removed at map (eret)
+
+	issued     bool
+	minIssueAt uint64
+	issueAt    uint64
+	readyAt    uint64 // result visible to consumers (same cluster)
+	doneAt     uint64 // resolution/completion
+	cluster    int8
+	slotUpper  bool
+
+	resolved   bool
+	queueFreed bool
+
+	// Control bookkeeping.
+	dirPred      bool // predicted direction for conditional branches
+	mispredicted bool // fetch waits on this entry's resolution
+	rasOp        bool
+	lineTrainPC  uint64 // delayed line-predictor training (non-spec update)
+	lineTrainTo  uint64
+	hasLineTrain bool
+
+	// Memory bookkeeping.
+	isLoad, isStore bool
+	granule         uint64
+	l1Hit           bool
+}
+
+// sim is the per-run pipeline state.
+type sim struct {
+	cfg  Config
+	src  cpu.Source
+	hier *cache.Hierarchy
+
+	tour *predict.Tournament
+	line *predict.Line
+	way  *predict.Way
+	ras  *predict.RAS
+	luse *predict.LoadUse
+	stwt *predict.StoreWait
+
+	pending []cpu.Record // fetched-from-stream lookahead
+	srcDone bool
+
+	rob      []entry
+	head     int
+	count    int
+	nextInum uint64
+	headInum uint64 // inum of ROB head (retired boundary)
+
+	lastWriter [2][isa.NumRegs]uint64 // latest producer inum per arch reg
+	// readyByInum remembers result-ready times of recently issued
+	// instructions so operand timing survives early retirement.
+	readyByInum [4096]uint64
+
+	cycle   uint64
+	retired uint64
+
+	fetchBlockedUntil uint64
+	waitBranch        uint64 // inum fetch waits on; 0 = none
+	issueBlockedUntil uint64
+	mapBlockedUntil   uint64
+
+	intQ, fpQ      int
+	intInFlight    int // in-flight integer destinations (rename regs)
+	fpInFlight     int
+	inflightRASOps int
+	fpDivBusyUntil uint64
+
+	// Event counters.
+	nBrMispredict   uint64
+	nLineMispredict uint64
+	nWayMispredict  uint64
+	nJmpMispredict  uint64
+	nLoadUseSquash  uint64
+	nReplayTraps    uint64
+	nMboxTraps      uint64
+	nMapStalls      uint64
+	nIMisses        uint64
+	nDMisses        uint64
+	nL2Misses       uint64
+	nTLBMisses      uint64
+
+	// DebugMispredictPCs, when non-nil, counts direction mispredicts per PC.
+	DebugMispredictPCs map[uint64]uint64
+}
+
+func newSim(cfg Config, src cpu.Source) *sim {
+	// A deeper register file lengthens the pipeline: every recovery
+	// that refills the front end pays the extra read stages.
+	if d := cfg.RFReadCycles - 1; d > 0 {
+		cfg.BrRecovery += d
+		cfg.JmpFlush += d
+		cfg.LoadUseRecovery += d
+	}
+	hier := cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), dram.New(cfg.DRAM))
+	return &sim{
+		cfg:      cfg,
+		src:      src,
+		hier:     hier,
+		tour:     predict.NewTournament(cfg.Tour),
+		line:     predict.NewLine(cfg.Hier.L1I.SizeBytes / 16),
+		way:      predict.NewWay(cfg.Hier.L1I.Sets()),
+		ras:      predict.NewRAS(cfg.RASEntries),
+		luse:     predict.NewLoadUse(),
+		stwt:     predict.NewStoreWait(),
+		rob:      make([]entry, cfg.ROB),
+		nextInum: 1,
+		headInum: 1,
+	}
+}
+
+func (s *sim) counters() map[string]uint64 {
+	return map[string]uint64{
+		"br_mispredicts":   s.nBrMispredict,
+		"line_mispredicts": s.nLineMispredict,
+		"way_mispredicts":  s.nWayMispredict,
+		"jmp_mispredicts":  s.nJmpMispredict,
+		"loaduse_squashes": s.nLoadUseSquash,
+		"replay_traps":     s.nReplayTraps,
+		"mbox_traps":       s.nMboxTraps,
+		"map_stalls":       s.nMapStalls,
+		"icache_misses":    s.nIMisses,
+		"dcache_misses":    s.nDMisses,
+		"l2_misses":        s.nL2Misses,
+		"tlb_misses":       s.nTLBMisses,
+		"dram_accesses":    s.hier.Mem.Stats.Accesses,
+		"prefetches":       s.hier.Prefetches,
+	}
+}
+
+// at returns the ROB entry with the given inum, which must be in
+// flight.
+func (s *sim) at(inum uint64) *entry {
+	idx := (s.head + int(inum-s.headInum)) % len(s.rob)
+	return &s.rob[idx]
+}
+
+// inFlight reports whether inum names an un-retired instruction.
+func (s *sim) inFlight(inum uint64) bool {
+	return inum >= s.headInum && inum < s.headInum+uint64(s.count)
+}
+
+// run executes the pipeline until the stream drains and the ROB
+// empties.
+func (s *sim) run() error {
+	// A watchdog bounds how long the pipeline may go without retiring
+	// anything; a healthy machine retires within any memory round trip.
+	const stuckLimit = 1 << 20
+	lastRetired, lastProgress := uint64(0), uint64(0)
+	for {
+		if s.count == 0 && s.srcDone && len(s.pending) == 0 {
+			return nil
+		}
+		s.resolveAndRetire()
+		s.issue()
+		s.mapStage()
+		s.fetch()
+		s.cycle++
+		if s.retired != lastRetired {
+			lastRetired = s.retired
+			lastProgress = s.cycle
+		} else if s.cycle-lastProgress > stuckLimit {
+			return fmt.Errorf("alpha: pipeline deadlock at cycle %d (retired %d): %s",
+				s.cycle, s.retired, s.dumpState())
+		}
+	}
+}
+
+// dumpState renders the head of the window for deadlock diagnostics.
+func (s *sim) dumpState() string {
+	out := fmt.Sprintf("count=%d intQ=%d fpQ=%d intInFlight=%d fpInFlight=%d issueBlk=%d mapBlk=%d fetchBlk=%d waitBranch=%d\n",
+		s.count, s.intQ, s.fpQ, s.intInFlight, s.fpInFlight,
+		s.issueBlockedUntil, s.mapBlockedUntil, s.fetchBlockedUntil, s.waitBranch)
+	for i := 0; i < s.count && i < 6; i++ {
+		e := &s.rob[(s.head+i)%len(s.rob)]
+		out += fmt.Sprintf("  [%d] %v inum=%d mapped=%v issued=%v resolved=%v doneAt=%d availAt=%d\n",
+			i, e.rec.Inst, e.inum, e.mapped, e.issued, e.resolved, e.doneAt, e.availAt)
+	}
+	return out
+}
+
+// freeQueueSlot releases e's issue-queue slot exactly once.
+func (s *sim) freeQueueSlot(e *entry) {
+	if e.queueFreed || e.dropped {
+		return
+	}
+	e.queueFreed = true
+	if !intSide(e.cls) {
+		s.fpQ--
+	} else if e.cls != isa.ClassNop && e.cls != isa.ClassHalt || s.unopsThroughIssue() {
+		s.intQ--
+	}
+}
+
+// resolveAndRetire processes completions (training predictors,
+// waking the front end, detecting traps) and retires from the head.
+func (s *sim) resolveAndRetire() {
+	// Resolution pass over in-flight instructions.
+	for i := 0; i < s.count; i++ {
+		e := &s.rob[(s.head+i)%len(s.rob)]
+		if e.issued && !e.queueFreed && s.cycle >= e.issueAt+uint64(s.cfg.QueueFreeLag) {
+			s.freeQueueSlot(e)
+		}
+		if e.issued && !e.resolved && s.cycle >= e.doneAt {
+			s.resolve(e)
+		}
+	}
+	// In-order retire.
+	n := 0
+	for s.count > 0 && n < s.cfg.RetireWidth {
+		e := &s.rob[s.head]
+		if !e.resolved || s.cycle < e.doneAt {
+			break
+		}
+		s.freeQueueSlot(e)
+		s.emitPipeEvent(e)
+		if e.cls == isa.ClassCondBr {
+			// Train the tournament predictor in program order, as the
+			// hardware does at retirement.
+			s.tour.Resolve(e.rec.PC, e.rec.Taken)
+		}
+		if e.hasDest {
+			if e.dest.FP {
+				s.fpInFlight--
+			} else {
+				s.intInFlight--
+			}
+		}
+		s.head = (s.head + 1) % len(s.rob)
+		s.count--
+		s.headInum++
+		s.retired++
+		n++
+	}
+}
+
+// resolve handles one instruction's completion. Predictor training
+// happens later, in program order at retirement, as on the 21264;
+// resolution handles the timing consequences (fetch restart, traps).
+func (s *sim) resolve(e *entry) {
+	e.resolved = true
+	if e.rasOp {
+		s.inflightRASOps--
+	}
+	if e.hasLineTrain {
+		s.line.Train(e.lineTrainPC, e.lineTrainTo)
+		e.hasLineTrain = false
+	}
+	if e.mispredicted && s.waitBranch == e.inum {
+		rec := s.cfg.BrRecovery
+		if e.cls == isa.ClassJump {
+			// Mispredicted indirect jumps flush and restart the whole
+			// front end (10 cycles on the 21264; sim-initial charged
+			// half of it).
+			rec = s.cfg.JmpFlush - 3
+			if s.cfg.Bugs.CheapJmpFlush {
+				rec = rec / 2
+			}
+			if rec < 1 {
+				rec = 1
+			}
+		}
+		until := e.doneAt + uint64(rec)
+		if s.fetchBlockedUntil < until {
+			s.fetchBlockedUntil = until
+		}
+		s.waitBranch = 0
+		// Repair the speculative global history: retired history
+		// extended by the in-flight branches in program order (their
+		// outcomes where known, their predictions otherwise).
+		var outcomes []bool
+		for i := 0; i < s.count; i++ {
+			f := &s.rob[(s.head+i)%len(s.rob)]
+			if f.cls != isa.ClassCondBr || f.dropped {
+				continue
+			}
+			// In-flight branches are on the correct path (the model
+			// is trace-driven); the hardware refetches and re-predicts
+			// everything younger than the mispredict, so their actual
+			// outcomes are what ends up in the history register.
+			outcomes = append(outcomes, f.rec.Taken)
+		}
+		s.tour.RebuildSpec(outcomes)
+	}
+	if e.isStore {
+		s.storeTrapScan(e)
+	}
+}
+
+// storeTrapScan detects store replay traps: a younger load that
+// already issued to the same address granule as this just-resolved
+// store must replay (the 21264 flushes from the load onward).
+func (s *sim) storeTrapScan(st *entry) {
+	for i := int(st.inum-s.headInum) + 1; i < s.count; i++ {
+		e := &s.rob[(s.head+i)%len(s.rob)]
+		if e.isLoad && e.issued && e.granule == st.granule && e.issueAt < st.doneAt {
+			s.nReplayTraps++
+			s.stwt.MarkTrap(e.rec.PC)
+			until := st.doneAt + uint64(s.cfg.TrapPenalty)
+			if s.issueBlockedUntil < until {
+				s.issueBlockedUntil = until
+			}
+			return
+		}
+	}
+}
+
+// srcsReadyAt returns the earliest cycle all of e's operands are
+// available on the given cluster, or ok=false if a producer has not
+// issued yet.
+func (s *sim) srcsReadyAt(e *entry, cluster int8) (uint64, bool) {
+	var latest uint64
+	for i := 0; i < e.nsrc; i++ {
+		p := e.srcs[i]
+		if p == 0 {
+			continue // architectural: ready
+		}
+		var t uint64
+		var prodCluster int8 = -1
+		if s.inFlight(p) {
+			pe := s.at(p)
+			if !pe.issued {
+				return 0, false
+			}
+			t = pe.readyAt
+			prodCluster = pe.cluster
+		} else if e.inum-p < uint64(len(s.readyByInum)) {
+			// Recently retired: its result may still be in flight to
+			// the register file.
+			t = s.readyByInum[p%uint64(len(s.readyByInum))]
+		} else {
+			continue // long retired: ready
+		}
+		// Register-file read depth (Figure 2): with full bypassing,
+		// dependence edges are served by the bypass network and never
+		// see the register file, so extra read latency costs nothing
+		// here (it deepens the pipeline instead — see newSim). With
+		// partial bypassing, edges pay the exposed read latency,
+		// overlapped with the one-cycle cross-cluster hop.
+		var extra uint64
+		if s.cfg.PartialBypass {
+			extra = uint64(s.cfg.RFReadCycles - 1)
+		}
+		if !e.cls.IsFP() && prodCluster >= 0 && cluster >= 0 && prodCluster != cluster && extra < 1 {
+			extra = 1 // cross-cluster bypass floor
+		}
+		t += extra
+		if t > latest {
+			latest = t
+		}
+	}
+	return latest, true
+}
+
+// execLatency returns the Table 1 execution latency for a class.
+func (s *sim) execLatency(cls isa.Class) int {
+	switch cls {
+	case isa.ClassIntALU:
+		return 1
+	case isa.ClassIntMul:
+		return 7
+	case isa.ClassFPAdd, isa.ClassFPMul:
+		return 4
+	case isa.ClassFPDivS:
+		return 12
+	case isa.ClassFPDivT:
+		return 15
+	case isa.ClassFPSqrtS:
+		return 18
+	case isa.ClassFPSqrtT:
+		return 33
+	case isa.ClassCondBr:
+		return 1
+	case isa.ClassUncondBr:
+		return 1
+	case isa.ClassJump:
+		return 3
+	case isa.ClassIntStore, isa.ClassFPStore:
+		return 1
+	}
+	return 1
+}
+
+// olderStoreUnresolved reports whether any older store has not yet
+// resolved its address.
+func (s *sim) olderStoreUnresolved(e *entry) bool {
+	for i := 0; i < int(e.inum-s.headInum); i++ {
+		o := &s.rob[(s.head+i)%len(s.rob)]
+		if o.isStore && !o.issued {
+			return true
+		}
+	}
+	return false
+}
+
+// loadOrderTrap checks, when an older load issues, whether a younger
+// load to the same granule already executed (a load-load order
+// violation replay trap).
+func (s *sim) loadOrderTrap(ld *entry) {
+	for i := int(ld.inum-s.headInum) + 1; i < s.count; i++ {
+		e := &s.rob[(s.head+i)%len(s.rob)]
+		if e.isLoad && e.issued && e.granule == ld.granule {
+			s.nReplayTraps++
+			until := s.cycle + uint64(s.cfg.TrapPenalty)
+			if s.issueBlockedUntil < until {
+				s.issueBlockedUntil = until
+			}
+			return
+		}
+	}
+}
+
+// intSide reports whether the instruction issues from the integer
+// queue and pipes. Loads and stores of either file use the memory
+// ports on the lower integer pipes, as on the 21264.
+func intSide(cls isa.Class) bool {
+	return !cls.IsFP() || cls == isa.ClassFPLoad || cls == isa.ClassFPStore
+}
+
+// issue selects and starts instructions, oldest first.
+func (s *sim) issue() {
+	if s.cycle < s.issueBlockedUntil {
+		return
+	}
+	intLeft := s.cfg.IntIssueWidth
+	fpLeft := s.cfg.FPIssueWidth
+	memLeft := 2            // two memory ports (one per cluster, lower pipes)
+	var pipeUsed [2][2]bool // [cluster][upper]
+	fpAddUsed, fpMulUsed := false, false
+
+	for i := 0; i < s.count && (intLeft > 0 || fpLeft > 0); i++ {
+		e := &s.rob[(s.head+i)%len(s.rob)]
+		if !e.mapped || e.issued || e.dropped {
+			continue
+		}
+		if s.cycle <= e.mapAt || s.cycle < e.minIssueAt {
+			continue // one-cycle queue write before issue eligibility
+		}
+		if e.cls == isa.ClassNop || e.cls == isa.ClassHalt {
+			// Unops reach here only when they consume issue slots: the
+			// scheduler treats them as ordinary ALU operations, so they
+			// also occupy a real pipe, contending with loads and
+			// multiplies for their subclusters.
+			if intLeft == 0 {
+				continue
+			}
+			cluster, ok := s.pickIntPipe(e, &pipeUsed)
+			if !ok {
+				continue
+			}
+			pipeUsed[cluster][b2i(e.slotUpper)] = true
+			intLeft--
+			s.start(e, cluster, 1)
+			continue
+		}
+		if !intSide(e.cls) {
+			// Floating-point computation: one add-class pipe, one
+			// multiply pipe; divide/sqrt occupy the add pipe
+			// non-pipelined.
+			if fpLeft == 0 {
+				continue
+			}
+			if ready, ok := s.srcsReadyAt(e, -1); !ok || ready > s.cycle {
+				continue
+			}
+			lat := s.execLatency(e.cls)
+			switch e.cls {
+			case isa.ClassFPMul:
+				if fpMulUsed {
+					continue
+				}
+				fpMulUsed = true
+			case isa.ClassFPDivS, isa.ClassFPDivT, isa.ClassFPSqrtS, isa.ClassFPSqrtT:
+				if fpAddUsed || s.cycle < s.fpDivBusyUntil {
+					continue
+				}
+				fpAddUsed = true
+				s.fpDivBusyUntil = s.cycle + uint64(lat)
+			default: // FP add, compare, convert
+				if fpAddUsed {
+					continue
+				}
+				fpAddUsed = true
+			}
+			fpLeft--
+			s.start(e, -1, lat)
+			continue
+		}
+		// Integer-side (including FP loads/stores).
+		if intLeft == 0 {
+			continue
+		}
+		if e.cls.IsMem() && memLeft == 0 {
+			continue
+		}
+		cluster, ok := s.pickIntPipe(e, &pipeUsed)
+		if !ok {
+			continue
+		}
+		if ready, rok := s.srcsReadyAt(e, cluster); !rok || ready > s.cycle {
+			continue
+		}
+		if e.cls.IsMem() {
+			if e.isLoad && s.cfg.Feat.StoreWait &&
+				s.stwt.ShouldWait(e.rec.PC, s.cycle) && s.olderStoreUnresolved(e) {
+				continue
+			}
+			pipeUsed[cluster][b2i(e.slotUpper)] = true
+			intLeft--
+			memLeft--
+			s.issueMem(e, cluster)
+			continue
+		}
+		pipeUsed[cluster][b2i(e.slotUpper)] = true
+		intLeft--
+		s.start(e, cluster, s.execLatency(e.cls))
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// pickIntPipe chooses an integer cluster/subcluster pipe for e.
+func (s *sim) pickIntPipe(e *entry, used *[2][2]bool) (int8, bool) {
+	sub := b2i(e.slotUpper)
+	needMul := e.cls == isa.ClassIntMul
+	needMem := e.cls.IsMem()
+	canDo := func(cluster, sb int) bool {
+		if used[cluster][sb] {
+			return false
+		}
+		if !s.cfg.Feat.SlotRestrict {
+			// Slotting constraint removed: four universal pipes.
+			return true
+		}
+		if needMem && sb != 0 {
+			return false // memory ports are on the lower pipes
+		}
+		if s.cfg.Bugs.WrongFUMix {
+			// Two multipliers on the upper pipes, two adders on the
+			// lower pipes.
+			if needMul {
+				return sb == 1
+			}
+			return sb == 0
+		}
+		if needMul {
+			return cluster == 0 && sb == 1 // the one multiplier
+		}
+		return true
+	}
+	subs := []int{sub}
+	if !s.cfg.Feat.SlotRestrict {
+		subs = []int{sub, 1 - sub}
+	}
+	if s.cfg.Bugs.AggressiveScheduler {
+		best, bestReady := int8(-1), uint64(1)<<63
+		for _, c := range []int8{0, 1} {
+			for _, sb := range subs {
+				if !canDo(int(c), sb) {
+					continue
+				}
+				ready, ok := s.srcsReadyAt(e, c)
+				if ok && ready < bestReady {
+					bestReady = ready
+					best = c
+				}
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
+	}
+	// Validated 21264 rule: upper-slotted prefer cluster 1, lower-
+	// slotted prefer cluster 0.
+	order := []int8{0, 1}
+	if e.slotUpper {
+		order = []int8{1, 0}
+	}
+	for _, c := range order {
+		for _, sb := range subs {
+			if canDo(int(c), sb) {
+				return c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// start marks e issued with the given latency on a cluster.
+func (s *sim) start(e *entry, cluster int8, lat int) {
+	e.issued = true
+	e.issueAt = s.cycle
+	e.cluster = cluster
+	e.readyAt = s.cycle + uint64(lat)
+	e.doneAt = e.readyAt
+	s.readyByInum[e.inum%uint64(len(s.readyByInum))] = e.readyAt
+	if e.cls == isa.ClassJump && e.mispredicted {
+		// Mispredicted jumps flush and restart: fixed penalty applied
+		// at resolve via waitBranch handling.
+		e.doneAt = e.readyAt
+	}
+}
+
+// issueMem issues a load or store: it walks the memory hierarchy,
+// applies load-use speculation, and schedules traps.
+func (s *sim) issueMem(e *entry, cluster int8) {
+	e.issued = true
+	e.issueAt = s.cycle
+	e.cluster = cluster
+
+	write := e.isStore
+	res := s.hier.Data(e.rec.EA, write, s.cycle)
+	if res.TLBMiss {
+		s.nTLBMisses++
+	}
+	if !res.L1Hit && !res.VBHit {
+		s.nDMisses++
+		if !res.L2Hit {
+			s.nL2Misses++
+		}
+	}
+	// TLB walk policy: PAL code stalls the machine (native); the
+	// hardware walk only delays this access (sim-alpha).
+	walk := uint64(res.WalkCycles)
+	if res.TLBMiss && s.cfg.Extra.PALTLBMiss {
+		until := s.cycle + walk + uint64(s.cfg.PALOverhead)
+		if s.issueBlockedUntil < until {
+			s.issueBlockedUntil = until
+		}
+		walk = 0
+	}
+
+	if res.MAFFull && s.cfg.Feat.MboxTraps {
+		s.nMboxTraps++
+		until := s.cycle + uint64(s.cfg.TrapPenalty)
+		if s.issueBlockedUntil < until {
+			s.issueBlockedUntil = until
+		}
+	}
+
+	if e.isStore {
+		// Stores resolve their address after one cycle; data commits
+		// from the store buffer without impeding the pipe.
+		e.readyAt = s.cycle + 1
+		e.doneAt = e.readyAt
+		s.readyByInum[e.inum%uint64(len(s.readyByInum))] = e.readyAt
+		return
+	}
+
+	hit := res.L1Hit || res.VBHit
+	e.l1Hit = hit
+	hitLat := uint64(s.cfg.Hier.L1D.HitLatency)
+	if e.cls == isa.ClassFPLoad {
+		hitLat++ // FP loads are 4 cycles (Table 1)
+	}
+	actual := uint64(res.Latency) + walk
+	if e.cls == isa.ClassFPLoad {
+		actual++
+	}
+	if !hit && s.cfg.Bugs.ExtraRegreadCycle {
+		actual++
+	}
+
+	if s.cfg.Feat.LoadUseSpec {
+		predHit := s.luse.PredictHit()
+		s.luse.Train(hit)
+		if predHit && !hit {
+			// Consumers issued in the speculation window are
+			// squashed and reissued.
+			s.nLoadUseSquash++
+			rec := uint64(s.cfg.LoadUseRecovery)
+			if s.cfg.Bugs.CheapLoadUseRecovery && rec > 0 {
+				rec--
+			}
+			until := s.cycle + hitLat + rec
+			if s.issueBlockedUntil < until {
+				s.issueBlockedUntil = until
+			}
+			e.readyAt = s.cycle + actual
+		} else if !predHit {
+			// Conservative: consumers wait for the fill signal.
+			e.readyAt = s.cycle + maxU(actual, hitLat+2)
+		} else {
+			e.readyAt = s.cycle + actual
+		}
+	} else {
+		// No speculation: consumers always wait an extra two cycles
+		// for the hit/miss outcome.
+		e.readyAt = s.cycle + actual + 2
+	}
+	e.doneAt = e.readyAt
+	s.readyByInum[e.inum%uint64(len(s.readyByInum))] = e.readyAt
+
+	// Load-load ordering: if a younger load to the same granule has
+	// already executed, the machine replays.
+	s.loadOrderTrap(e)
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mapStage renames and dispatches fetched instructions into the ROB
+// and issue queues.
+func (s *sim) mapStage() {
+	if s.cycle < s.mapBlockedUntil {
+		return
+	}
+	for n := 0; n < s.cfg.MapWidth; n++ {
+		if s.count == 0 {
+			break
+		}
+		// Find the oldest fetched-but-unmapped entry; entries are in
+		// program order, so scan from the head.
+		var e *entry
+		for i := 0; i < s.count; i++ {
+			c := &s.rob[(s.head+i)%len(s.rob)]
+			if !c.mapped {
+				e = c
+				break
+			}
+		}
+		if e == nil || s.cycle < e.availAt {
+			break
+		}
+		cls := e.cls
+		isUnop := cls == isa.ClassNop || cls == isa.ClassHalt
+		// Queue capacity.
+		if !isUnop || s.unopsThroughIssue() {
+			if !intSide(cls) {
+				if s.fpQ >= s.cfg.FPQueue {
+					break
+				}
+			} else if s.intQ >= s.cfg.IntQueue {
+				break
+			}
+		}
+		// Rename register availability.
+		if e.hasDest {
+			free := s.cfg.RenameRegs - s.intInFlight
+			if e.dest.FP {
+				free = s.cfg.RenameRegs - s.fpInFlight
+			}
+			if free <= 0 {
+				break
+			}
+			if s.cfg.Feat.MapStall && free < s.cfg.MapStallFree {
+				s.nMapStalls++
+				s.mapBlockedUntil = s.cycle + uint64(s.cfg.MapStallLen)
+				break
+			}
+		}
+		// Commit the map.
+		e.mapped = true
+		e.mapAt = s.cycle
+		if e.hasDest {
+			if e.dest.FP {
+				s.fpInFlight++
+			} else {
+				s.intInFlight++
+			}
+		}
+		if isUnop && !s.unopsThroughIssue() {
+			// Early retirement in the map stage (eret).
+			e.dropped = true
+			e.issued = true
+			e.resolved = true
+			e.readyAt = s.cycle
+			e.doneAt = s.cycle
+			continue
+		}
+		if !intSide(cls) {
+			s.fpQ++
+		} else {
+			s.intQ++
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("main")
+	b.Mem(isa.OpLda, isa.T0, 10, isa.Zero) // t0 = 10
+	b.Label("loop")
+	b.OpI(isa.OpSubq, isa.T0, 1, isa.T0)
+	b.Br(isa.OpBne, isa.T0, "loop")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := p.Symbols["loop"]
+	if loop != TextBase+4 {
+		t.Fatalf("loop = %#x, want %#x", loop, TextBase+4)
+	}
+	br, ok := p.InstAt(TextBase + 8)
+	if !ok || br.Op != isa.OpBne {
+		t.Fatalf("InstAt(+8) = %v, %v", br, ok)
+	}
+	if got := br.BranchTarget(TextBase + 8); got != loop {
+		t.Errorf("branch target = %#x, want %#x", got, loop)
+	}
+	if p.Entry != TextBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, TextBase)
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	b := NewBuilder("t")
+	b.Br(isa.OpBr, isa.Zero, "done")
+	b.Unop(3)
+	b.Label("done")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Code[0]
+	if got := br.BranchTarget(TextBase); got != p.Symbols["done"] {
+		t.Errorf("forward branch target = %#x, want %#x", got, p.Symbols["done"])
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Br(isa.OpBr, isa.Zero, "nowhere")
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("expected duplicate-label error")
+	}
+}
+
+func TestAlignOctaword(t *testing.T) {
+	b := NewBuilder("t")
+	b.Unop(1)
+	b.AlignOctaword()
+	if b.PC()%isa.OctawordBytes != 0 {
+		t.Fatalf("PC %#x not octaword aligned", b.PC())
+	}
+	if len(b.code) != 4 {
+		t.Fatalf("expected 4 instructions after aligning from 1, got %d", len(b.code))
+	}
+	b.AlignOctaword() // already aligned: no change
+	if len(b.code) != 4 {
+		t.Fatalf("second align added padding: %d", len(b.code))
+	}
+}
+
+func TestDataLayout(t *testing.T) {
+	b := NewBuilder("t")
+	b.Quads("a", 1, 2, 3)
+	b.Space("buf", 100, 64)
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Symbols["a"]
+	if a != DataBase {
+		t.Errorf("a = %#x, want %#x", a, DataBase)
+	}
+	buf := p.Symbols["buf"]
+	if buf%64 != 0 {
+		t.Errorf("buf = %#x, not 64-byte aligned", buf)
+	}
+	if buf < a+24 {
+		t.Errorf("buf overlaps a")
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(p.Segments))
+	}
+	if got := p.Segments[0].Bytes; got[0] != 1 || got[8] != 2 || got[16] != 3 {
+		t.Errorf("quads content wrong: % x", got)
+	}
+}
+
+// evalLoadImm interprets the lda/ldah/sll/bis sequence the builder
+// emits for LoadImm, mirroring the functional semantics.
+func evalLoadImm(t *testing.T, code []isa.Inst, ra isa.Reg) int64 {
+	t.Helper()
+	var regs [32]int64
+	for _, in := range code {
+		switch in.Op {
+		case isa.OpLda:
+			regs[in.Ra] = regs[in.Rb] + int64(in.Disp)
+		case isa.OpLdah:
+			regs[in.Ra] = regs[in.Rb] + int64(in.Disp)*65536
+		case isa.OpSll:
+			if !in.UseLit {
+				t.Fatalf("unexpected register sll in LoadImm")
+			}
+			regs[in.Rc] = regs[in.Ra] << (in.Lit & 63)
+		default:
+			t.Fatalf("unexpected op %v in LoadImm sequence", in.Op)
+		}
+		regs[31] = 0
+	}
+	return regs[ra]
+}
+
+func TestLoadImmValues(t *testing.T) {
+	values := []int64{
+		0, 1, -1, 32767, -32768, 32768, -32769, 65536, 1 << 20,
+		-(1 << 20), 1<<31 - 1, -(1 << 31), 1 << 31, 1 << 40,
+		-(1 << 40), 1<<62 + 12345, -(1<<62 + 99), 0x7fffffffffffffff,
+		-0x8000000000000000,
+	}
+	for _, v := range values {
+		b := NewBuilder("t")
+		b.LoadImm(isa.T0, v)
+		if len(b.errs) > 0 {
+			t.Fatalf("LoadImm(%d): %v", v, b.errs[0])
+		}
+		got := evalLoadImm(t, b.code, isa.T0)
+		if got != v {
+			t.Errorf("LoadImm(%d) evaluates to %d", v, got)
+		}
+	}
+}
+
+// Property: LoadImm round-trips arbitrary 64-bit values.
+func TestQuickLoadImm(t *testing.T) {
+	f := func(v int64) bool {
+		b := NewBuilder("q")
+		b.LoadImm(isa.T1, v)
+		if len(b.errs) > 0 {
+			return false
+		}
+		return evalLoadImm(t, b.code, isa.T1) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadAddrResolvesDataAndText(t *testing.T) {
+	b := NewBuilder("t")
+	b.Quads("arr", 7)
+	b.Label("main")
+	b.LoadAddr(isa.T0, "arr")
+	b.LoadAddr(isa.T1, "fwd")
+	b.Label("fwd")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(idx int, want uint64) {
+		hi, lo := p.Code[idx], p.Code[idx+1]
+		got := uint64(int64(hi.Disp)*65536 + int64(lo.Disp))
+		if got != want {
+			t.Errorf("LoadAddr at %d resolves to %#x, want %#x", idx, got, want)
+		}
+	}
+	check(0, p.Symbols["arr"])
+	check(2, p.Symbols["fwd"])
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("main")
+	b.Op(isa.OpAddq, isa.T0, isa.T1, isa.T2)
+	b.Halt()
+	p := b.MustAssemble()
+	d := p.Disassemble()
+	if !strings.Contains(d, "main:") || !strings.Contains(d, "addq") {
+		t.Errorf("disassembly missing content:\n%s", d)
+	}
+}
+
+func TestInstAtBounds(t *testing.T) {
+	b := NewBuilder("t")
+	b.Halt()
+	p := b.MustAssemble()
+	if _, ok := p.InstAt(TextBase - 4); ok {
+		t.Error("InstAt below text succeeded")
+	}
+	if _, ok := p.InstAt(p.TextEnd()); ok {
+		t.Error("InstAt past text succeeded")
+	}
+	if _, ok := p.InstAt(TextBase + 1); ok {
+		t.Error("InstAt misaligned succeeded")
+	}
+}

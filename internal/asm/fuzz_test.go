@@ -1,0 +1,47 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse: arbitrary source text must either assemble or fail with
+// an error — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add("main:\n\taddq r1, r2, r3\n\thalt\n")
+	f.Add("loop:\n\tsubq t0, #1, t0\n\tbne t0, loop\n")
+	f.Add(".quad x, 1, 2\n.space y, 64, 8\nmain:\n\t.loadaddr s0, x\n\thalt\n")
+	f.Add("ldq r1, -8(sp) ; comment")
+	f.Add(":::")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err == nil && p == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}
+
+// FuzzReadObject: arbitrary bytes must never panic the object reader.
+func FuzzReadObject(f *testing.F) {
+	b := NewBuilder("seed")
+	b.Label("main")
+	b.Halt()
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, b.MustAssemble()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("AXPL"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadObject(bytes.NewReader(data))
+		if err == nil {
+			// Whatever decodes must re-encode.
+			var out bytes.Buffer
+			if err := WriteObject(&out, p); err != nil {
+				t.Fatalf("decoded object fails to re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package asm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Object file format ("AXPL"): a simple container for assembled
+// programs so workloads can be saved, exchanged, and reloaded without
+// the assembler. All integers are little-endian.
+//
+//	magic    [4]byte  "AXPL"
+//	version  uint32   1
+//	entry    uint64
+//	textBase uint64
+//	nCode    uint32   instruction words
+//	code     [nCode]uint32 (encoded instructions)
+//	nSegs    uint32
+//	per segment: addr uint64, size uint32, bytes
+//	nSyms    uint32
+//	per symbol: nameLen uint16, name, addr uint64
+//	nameLen  uint16, name (program name)
+
+const (
+	objMagic   = "AXPL"
+	objVersion = 1
+)
+
+// WriteObject serializes the program to w in the AXPL object format.
+func WriteObject(w io.Writer, p *Program) error {
+	var buf bytes.Buffer
+	buf.WriteString(objMagic)
+	le := binary.LittleEndian
+	write := func(v interface{}) { binary.Write(&buf, le, v) }
+	write(uint32(objVersion))
+	write(p.Entry)
+	write(p.TextBase)
+	write(uint32(len(p.Code)))
+	for _, in := range p.Code {
+		word, err := in.Encode()
+		if err != nil {
+			return fmt.Errorf("asm: encoding %v: %w", in, err)
+		}
+		write(word)
+	}
+	write(uint32(len(p.Segments)))
+	for _, seg := range p.Segments {
+		write(seg.Addr)
+		write(uint32(len(seg.Bytes)))
+		buf.Write(seg.Bytes)
+	}
+	// Symbols sorted for deterministic output.
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	write(uint32(len(names)))
+	for _, n := range names {
+		if len(n) > 0xffff {
+			return fmt.Errorf("asm: symbol name too long: %q", n[:32])
+		}
+		write(uint16(len(n)))
+		buf.WriteString(n)
+		write(p.Symbols[n])
+	}
+	if len(p.Name) > 0xffff {
+		return fmt.Errorf("asm: program name too long")
+	}
+	write(uint16(len(p.Name)))
+	buf.WriteString(p.Name)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadObject deserializes a program from the AXPL object format.
+func ReadObject(r io.Reader) (*Program, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	b := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(b, magic); err != nil || string(magic) != objMagic {
+		return nil, fmt.Errorf("asm: not an AXPL object")
+	}
+	le := binary.LittleEndian
+	read := func(v interface{}) error { return binary.Read(b, le, v) }
+	var version uint32
+	if err := read(&version); err != nil || version != objVersion {
+		return nil, fmt.Errorf("asm: unsupported object version %d", version)
+	}
+	p := &Program{Symbols: map[string]uint64{}}
+	if err := read(&p.Entry); err != nil {
+		return nil, truncated(err)
+	}
+	if err := read(&p.TextBase); err != nil {
+		return nil, truncated(err)
+	}
+	var nCode uint32
+	if err := read(&nCode); err != nil {
+		return nil, truncated(err)
+	}
+	if uint64(nCode) > uint64(len(data)) {
+		return nil, fmt.Errorf("asm: implausible code size %d", nCode)
+	}
+	p.Code = make([]isa.Inst, nCode)
+	for i := range p.Code {
+		var word uint32
+		if err := read(&word); err != nil {
+			return nil, truncated(err)
+		}
+		in, err := isa.Decode(word)
+		if err != nil {
+			return nil, fmt.Errorf("asm: instruction %d: %w", i, err)
+		}
+		p.Code[i] = in
+	}
+	var nSegs uint32
+	if err := read(&nSegs); err != nil {
+		return nil, truncated(err)
+	}
+	if uint64(nSegs) > uint64(len(data)) {
+		return nil, fmt.Errorf("asm: implausible segment count %d", nSegs)
+	}
+	for i := uint32(0); i < nSegs; i++ {
+		var seg Segment
+		var size uint32
+		if err := read(&seg.Addr); err != nil {
+			return nil, truncated(err)
+		}
+		if err := read(&size); err != nil {
+			return nil, truncated(err)
+		}
+		if uint64(size) > uint64(len(data)) {
+			return nil, fmt.Errorf("asm: implausible segment size %d", size)
+		}
+		seg.Bytes = make([]byte, size)
+		if _, err := io.ReadFull(b, seg.Bytes); err != nil {
+			return nil, truncated(err)
+		}
+		p.Segments = append(p.Segments, seg)
+	}
+	var nSyms uint32
+	if err := read(&nSyms); err != nil {
+		return nil, truncated(err)
+	}
+	if uint64(nSyms) > uint64(len(data)) {
+		return nil, fmt.Errorf("asm: implausible symbol count %d", nSyms)
+	}
+	for i := uint32(0); i < nSyms; i++ {
+		name, err := readString(b, le)
+		if err != nil {
+			return nil, err
+		}
+		var addr uint64
+		if err := read(&addr); err != nil {
+			return nil, truncated(err)
+		}
+		p.Symbols[name] = addr
+	}
+	name, err := readString(b, le)
+	if err != nil {
+		return nil, err
+	}
+	p.Name = name
+	return p, nil
+}
+
+func readString(b *bytes.Reader, le binary.ByteOrder) (string, error) {
+	var n uint16
+	if err := binary.Read(b, le, &n); err != nil {
+		return "", truncated(err)
+	}
+	s := make([]byte, n)
+	if _, err := io.ReadFull(b, s); err != nil {
+		return "", truncated(err)
+	}
+	return string(s), nil
+}
+
+func truncated(err error) error {
+	return fmt.Errorf("asm: truncated object: %w", err)
+}

@@ -1,0 +1,122 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func objectFixture(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("fixture")
+	b.Quads("data", 1, 2, 3)
+	b.Space("buf", 100, 64)
+	b.Label("main")
+	b.LoadImm(isa.T0, 42)
+	b.Label("loop")
+	b.OpI(isa.OpSubq, isa.T0, 1, isa.T0)
+	b.Br(isa.OpBne, isa.T0, "loop")
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	p := objectFixture(t)
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Entry != p.Entry || q.TextBase != p.TextBase {
+		t.Errorf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("code length %d vs %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("code[%d]: %v vs %v", i, q.Code[i], p.Code[i])
+		}
+	}
+	if len(q.Segments) != len(p.Segments) {
+		t.Fatalf("segments %d vs %d", len(q.Segments), len(p.Segments))
+	}
+	for i := range p.Segments {
+		if q.Segments[i].Addr != p.Segments[i].Addr ||
+			!bytes.Equal(q.Segments[i].Bytes, p.Segments[i].Bytes) {
+			t.Errorf("segment %d differs", i)
+		}
+	}
+	if len(q.Symbols) != len(p.Symbols) {
+		t.Fatalf("symbols %d vs %d", len(q.Symbols), len(p.Symbols))
+	}
+	for k, v := range p.Symbols {
+		if q.Symbols[k] != v {
+			t.Errorf("symbol %s: %#x vs %#x", k, q.Symbols[k], v)
+		}
+	}
+}
+
+func TestObjectDeterministic(t *testing.T) {
+	p := objectFixture(t)
+	var a, b bytes.Buffer
+	if err := WriteObject(&a, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("object serialization not deterministic")
+	}
+}
+
+func TestObjectRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("AXPL"),                 // truncated after magic
+		[]byte("AXPL\xff\xff\xff\xff"), // bad version
+		append([]byte("AXPL\x01\x00\x00\x00"), bytes.Repeat([]byte{0xff}, 8)...),
+	}
+	for i, c := range cases {
+		if _, err := ReadObject(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+}
+
+func TestObjectTruncationDetected(t *testing.T) {
+	p := objectFixture(t)
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadObject(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("prefix of %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestObjectExecutesIdentically(t *testing.T) {
+	p := objectFixture(t)
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Programs must behave identically instruction by instruction.
+	if q.Disassemble() != p.Disassemble() {
+		t.Error("disassembly differs after round trip")
+	}
+}

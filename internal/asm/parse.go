@@ -1,0 +1,322 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse assembles AXP-lite source text into a Program. The syntax is
+// the disassembler's output plus labels and data directives:
+//
+//	; comment                     (also "//" and "#")
+//	label:
+//	        addq  r1, r2, r3      ; register operate
+//	        subq  r1, #4, r1      ; literal operate
+//	        ldq   r0, -16(r30)    ; memory
+//	        beq   r5, target      ; branch to label
+//	        br    done            ; unconditional (ra defaults to r31)
+//	        bsr   ra, func        ; call
+//	        ret   (ra)            ; indirect jump (ra defaults to r31)
+//	        jmp   r0, (r7)
+//	        lda   r1, 100(r31)
+//	        ldt   f1, 0(r4)       ; FP registers are f0..f31
+//	        unop
+//	        halt
+//	        .align                ; pad to an octaword boundary
+//	        .quad x, 1, 2, 3      ; labeled 64-bit data
+//	        .space buf, 4096, 64  ; labeled zeroed data (size, align)
+//	        .loadimm r1, 123456   ; expands to the shortest sequence
+//	        .loadaddr r2, label   ; expands to ldah/lda
+//
+// Branch targets must be labels (numeric displacements are not
+// accepted in source form). The program entry point is "main" if
+// defined, else the first instruction.
+func Parse(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (possibly several on one line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,()#") {
+				break
+			}
+			b.Label(strings.TrimSpace(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseStatement(b, line); err != nil {
+			return nil, fmt.Errorf("asm: %s:%d: %w", name, lineNo+1, err)
+		}
+	}
+	return b.Assemble()
+}
+
+// MustParse is Parse but panics on error; for static program text.
+func MustParse(name, src string) *Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "//", "#"} {
+		if marker == "#" && strings.Contains(s, ", #") {
+			// Literal-operand hash; only strip a leading comment.
+			if i := strings.Index(s, "#"); i >= 0 && strings.TrimSpace(s[:i]) == "" {
+				return s[:i]
+			}
+			continue
+		}
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func parseStatement(b *Builder, line string) error {
+	mnemonic, rest := line, ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	args := splitArgs(rest)
+
+	switch mnemonic {
+	case ".align":
+		b.AlignOctaword()
+		return nil
+	case ".quad":
+		if len(args) < 2 {
+			return fmt.Errorf(".quad needs a label and at least one value")
+		}
+		vals := make([]uint64, 0, len(args)-1)
+		for _, a := range args[1:] {
+			v, err := strconv.ParseUint(a, 0, 64)
+			if err != nil {
+				sv, serr := strconv.ParseInt(a, 0, 64)
+				if serr != nil {
+					return fmt.Errorf(".quad value %q: %v", a, err)
+				}
+				v = uint64(sv)
+			}
+			vals = append(vals, v)
+		}
+		b.Quads(args[0], vals...)
+		return nil
+	case ".space":
+		if len(args) != 3 {
+			return fmt.Errorf(".space needs label, size, align")
+		}
+		size, err1 := strconv.ParseUint(args[1], 0, 64)
+		align, err2 := strconv.ParseUint(args[2], 0, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf(".space sizes must be integers")
+		}
+		b.Space(args[0], size, align)
+		return nil
+	case ".loadimm":
+		if len(args) != 2 {
+			return fmt.Errorf(".loadimm needs register, value")
+		}
+		r, fp, err := parseReg(args[0])
+		if err != nil || fp {
+			return fmt.Errorf(".loadimm needs an integer register")
+		}
+		v, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf(".loadimm value %q: %v", args[1], err)
+		}
+		b.LoadImm(r, v)
+		return nil
+	case ".loadaddr":
+		if len(args) != 2 {
+			return fmt.Errorf(".loadaddr needs register, label")
+		}
+		r, fp, err := parseReg(args[0])
+		if err != nil || fp {
+			return fmt.Errorf(".loadaddr needs an integer register")
+		}
+		b.LoadAddr(r, args[1])
+		return nil
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	switch op.Format() {
+	case isa.FmtNone:
+		b.I(isa.Inst{Op: op})
+		return nil
+	case isa.FmtOperate:
+		return parseOperate(b, op, args)
+	case isa.FmtMemory:
+		return parseMemory(b, op, args)
+	case isa.FmtBranch:
+		return parseBranch(b, op, args)
+	case isa.FmtJump:
+		return parseJump(b, op, args)
+	}
+	return fmt.Errorf("unhandled format for %q", mnemonic)
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseReg accepts r0..r31, f0..f31, and the conventional integer
+// names (v0, t0..t12, s0..s5, a0..a5, ra, at, gp, sp, fp, zero).
+func parseReg(s string) (isa.Reg, bool, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if named, ok := regNames[s]; ok {
+		return named, false, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'f') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), s[0] == 'f', nil
+		}
+	}
+	return 0, false, fmt.Errorf("bad register %q", s)
+}
+
+var regNames = map[string]isa.Reg{
+	"v0": isa.V0, "t0": isa.T0, "t1": isa.T1, "t2": isa.T2, "t3": isa.T3,
+	"t4": isa.T4, "t5": isa.T5, "t6": isa.T6, "t7": isa.T7,
+	"s0": isa.S0, "s1": isa.S1, "s2": isa.S2, "s3": isa.S3, "s4": isa.S4,
+	"s5": isa.S5, "fp": isa.FP,
+	"a0": isa.A0, "a1": isa.A1, "a2": isa.A2, "a3": isa.A3, "a4": isa.A4,
+	"a5": isa.A5,
+	"t8": isa.T8, "t9": isa.T9, "t10": isa.T10, "t11": isa.T11,
+	"ra": isa.RA, "t12": isa.T12, "at": isa.AT, "gp": isa.GP,
+	"sp": isa.SP, "zero": isa.Zero,
+}
+
+func parseOperate(b *Builder, op isa.Op, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("%s needs ra, rb|#lit, rc", op)
+	}
+	ra, _, err := parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	rc, _, err := parseReg(args[2])
+	if err != nil {
+		return err
+	}
+	if lit, ok := strings.CutPrefix(args[1], "#"); ok {
+		v, err := strconv.ParseUint(lit, 0, 8)
+		if err != nil {
+			return fmt.Errorf("literal %q: %v", args[1], err)
+		}
+		b.OpI(op, ra, uint8(v), rc)
+		return nil
+	}
+	rb, _, err := parseReg(args[1])
+	if err != nil {
+		return err
+	}
+	b.Op(op, ra, rb, rc)
+	return nil
+}
+
+// parseMemory handles "op ra, disp(rb)".
+func parseMemory(b *Builder, op isa.Op, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%s needs ra, disp(rb)", op)
+	}
+	ra, _, err := parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	open := strings.Index(args[1], "(")
+	closing := strings.LastIndex(args[1], ")")
+	if open < 0 || closing < open {
+		return fmt.Errorf("bad memory operand %q", args[1])
+	}
+	dispStr := strings.TrimSpace(args[1][:open])
+	disp := int64(0)
+	if dispStr != "" {
+		disp, err = strconv.ParseInt(dispStr, 0, 32)
+		if err != nil {
+			return fmt.Errorf("displacement %q: %v", dispStr, err)
+		}
+	}
+	rb, _, err := parseReg(args[1][open+1 : closing])
+	if err != nil {
+		return err
+	}
+	b.Mem(op, ra, int32(disp), rb)
+	return nil
+}
+
+// parseBranch handles "op ra, label" and "op label" (ra = zero for
+// br, which is the common form).
+func parseBranch(b *Builder, op isa.Op, args []string) error {
+	switch len(args) {
+	case 1:
+		b.Br(op, isa.Zero, args[0])
+		return nil
+	case 2:
+		ra, _, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Br(op, ra, args[1])
+		return nil
+	}
+	return fmt.Errorf("%s needs [ra,] label", op)
+}
+
+// parseJump handles "op ra, (rb)" and "op (rb)" (ra = zero).
+func parseJump(b *Builder, op isa.Op, args []string) error {
+	parseInd := func(s string) (isa.Reg, error) {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+			return 0, fmt.Errorf("bad jump target %q (want (rb))", s)
+		}
+		r, _, err := parseReg(s[1 : len(s)-1])
+		return r, err
+	}
+	switch len(args) {
+	case 1:
+		rb, err := parseInd(args[0])
+		if err != nil {
+			return err
+		}
+		b.Jump(op, isa.Zero, rb)
+		return nil
+	case 2:
+		ra, _, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rb, err := parseInd(args[1])
+		if err != nil {
+			return err
+		}
+		b.Jump(op, ra, rb)
+		return nil
+	}
+	return fmt.Errorf("%s needs [ra,] (rb)", op)
+}

@@ -1,0 +1,168 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestParseBasicProgram(t *testing.T) {
+	p, err := Parse("t", `
+	; sum 1..10
+	.quad data, 42
+main:
+	.loadimm t0, 10
+	lda     t1, 0(zero)
+loop:
+	addq    t1, t0, t1
+	subq    t0, #1, t0
+	bne     t0, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Symbol("loop"); !ok {
+		t.Error("loop label missing")
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Error("entry not at main")
+	}
+	if _, ok := p.Symbol("data"); !ok {
+		t.Error("data label missing")
+	}
+}
+
+func TestParseAllFormats(t *testing.T) {
+	p, err := Parse("t", `
+main:
+	addq  r1, r2, r3
+	subq  t0, #255, v0
+	ldq   r5, -8(sp)
+	stt   f2, 16(s0)
+	lds   f1, 0(a0)
+	beq   t1, out
+	br    out
+	bsr   ra, out
+	jmp   r0, (r7)
+	jsr   ra, (t12)
+	ret   (ra)
+	unop
+	.align
+out:
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[isa.Op]bool{}
+	for _, in := range p.Code {
+		found[in.Op] = true
+	}
+	for _, op := range []isa.Op{isa.OpAddq, isa.OpSubq, isa.OpLdq, isa.OpStt,
+		isa.OpLds, isa.OpBeq, isa.OpBr, isa.OpBsr, isa.OpJmp, isa.OpJsr,
+		isa.OpRet, isa.OpUnop, isa.OpHalt} {
+		if !found[op] {
+			t.Errorf("op %v missing from parsed code", op)
+		}
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	p, err := Parse("t", `
+	.space buf, 256, 64
+	.quad vals, 1, -1, 0xff
+main:
+	.loadaddr s0, buf
+	.loadimm  s1, -123456789
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["buf"]%64 != 0 {
+		t.Error("buf not aligned")
+	}
+	seg := p.Segments[1]
+	if seg.Bytes[8] != 0xff { // -1 little-endian
+		t.Errorf("quad -1 wrong: % x", seg.Bytes[8:16])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus r1, r2, r3",
+		"addq r1, r2",
+		"addq r1, r2, r99",
+		"ldq r1, nope",
+		"beq r1",
+		"jmp r1, r2",
+		".quad onlylabel",
+		".space x, y, z",
+		"addq r1, #999, r2",
+	}
+	for _, src := range bad {
+		if _, err := Parse("t", "main:\n\t"+src+"\n\thalt\n"); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestParseCommentStyles(t *testing.T) {
+	p, err := Parse("t", `
+main:            ; semicolon comment
+	unop         // slash comment
+	# full-line hash comment
+	addq r1, #2, r1
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 3 {
+		t.Errorf("code = %d instructions, want 3", len(p.Code))
+	}
+}
+
+// Property: the disassembler's instruction syntax parses back to the
+// identical instruction for every opcode (labels replaced by hand).
+func TestParseDisassembleRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	b.Label("main")
+	b.Op(isa.OpAddq, 1, 2, 3)
+	b.OpI(isa.OpSll, 4, 63, 5)
+	b.Mem(isa.OpLdq, 6, -32, 30)
+	b.Mem(isa.OpStl, 7, 100, 29)
+	b.Op(isa.OpAddt, 1, 2, 3)
+	b.Jump(isa.OpRet, isa.Zero, isa.RA)
+	b.Halt()
+	p := b.MustAssemble()
+
+	var src strings.Builder
+	src.WriteString("main:\n")
+	for _, in := range p.Code {
+		src.WriteString("\t" + in.String() + "\n")
+	}
+	p2, err := Parse("rt2", src.String())
+	if err != nil {
+		t.Fatalf("reparsing disassembly: %v\n%s", err, src.String())
+	}
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("length mismatch %d vs %d", len(p2.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != p2.Code[i] {
+			t.Errorf("instruction %d: %v vs %v", i, p.Code[i], p2.Code[i])
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("t", "nonsense r1\n")
+}

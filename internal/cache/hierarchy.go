@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"repro/internal/dram"
+	"repro/internal/vm"
+)
+
+// HierarchyConfig describes the full memory system of one machine.
+type HierarchyConfig struct {
+	L1I Config
+	L1D Config
+	L2  Config
+
+	VictimEntries int  // L1D victim buffer entries; 0 disables (the vbuf feature)
+	VBHitLatency  int  // load-to-use cycles on a victim-buffer hit
+	MAFEntries    int  // miss address file entries per file
+	SharedMAF     bool // one MAF shared by I, D and L2 (native behavior)
+
+	L1MissOverhead int // cycles between L1 miss detection and L2 probe
+	L2BusBeats     int // cycles the L2 channel is occupied per transfer
+
+	ITLBEntries int
+	DTLBEntries int
+}
+
+// DS10L returns the DS-10L memory system from the paper: 64KB 2-way
+// 64-byte-block L1 caches with a 3-cycle load-to-use hit, a 2MB
+// direct-mapped 64-byte-block L2 with a 13-cycle load-to-use hit, an
+// 8-entry victim buffer and 8-entry MAFs.
+func DS10L() HierarchyConfig {
+	return HierarchyConfig{
+		L1I: Config{Name: "L1I", SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 2, HitLatency: 1},
+		L1D: Config{Name: "L1D", SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 2, HitLatency: 3},
+		L2:  Config{Name: "L2", SizeBytes: 2 << 20, BlockBytes: 64, Assoc: 1, HitLatency: 13},
+
+		VictimEntries: 8,
+		VBHitLatency:  5,
+		MAFEntries:    8,
+
+		L1MissOverhead: 2,
+		L2BusBeats:     4,
+
+		ITLBEntries: 128,
+		DTLBEntries: 128,
+	}
+}
+
+// Result reports the outcome and cost of one memory-system access.
+type Result struct {
+	Latency    int // load-to-use cycles, excluding any TLB walk
+	L1Hit      bool
+	VBHit      bool
+	L2Hit      bool // meaningful only when !L1Hit && !VBHit
+	TLBMiss    bool
+	WalkCycles int  // page-walk cycles (how they stall is the machine's policy)
+	MAFFull    bool // the access stalled on a full miss address file
+	PAddr      uint64
+}
+
+// Hierarchy composes the caches, victim buffer, MAFs, TLBs, DRAM and
+// the inter-level buses of one machine's memory system.
+type Hierarchy struct {
+	Cfg  HierarchyConfig
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	VB   *VictimBuffer // nil when disabled
+	ITLB *vm.TLB
+	DTLB *vm.TLB
+	Mem  *dram.DRAM
+
+	mafI, mafD, mafL2 *MAF
+	Mapper            vm.Mapper
+
+	l2BusFreeAt uint64
+
+	// Prefetches counts I-cache prefetch fills issued.
+	Prefetches uint64
+}
+
+// NewHierarchy builds a hierarchy from a configuration, a mapping
+// policy, and a DRAM model.
+func NewHierarchy(cfg HierarchyConfig, mapper vm.Mapper, mem *dram.DRAM) *Hierarchy {
+	h := &Hierarchy{
+		Cfg:    cfg,
+		L1I:    New(cfg.L1I),
+		L1D:    New(cfg.L1D),
+		L2:     New(cfg.L2),
+		ITLB:   vm.NewTLB(cfg.ITLBEntries),
+		DTLB:   vm.NewTLB(cfg.DTLBEntries),
+		Mem:    mem,
+		Mapper: mapper,
+	}
+	if cfg.VictimEntries > 0 {
+		h.VB = NewVictimBuffer(cfg.VictimEntries)
+	}
+	if cfg.SharedMAF {
+		shared := NewMAF(cfg.MAFEntries)
+		h.mafI, h.mafD, h.mafL2 = shared, shared, shared
+	} else {
+		h.mafI = NewMAF(cfg.MAFEntries)
+		h.mafD = NewMAF(cfg.MAFEntries)
+		h.mafL2 = NewMAF(cfg.MAFEntries)
+	}
+	return h
+}
+
+// MAFD exposes the data-side miss address file (for trap modeling).
+func (h *Hierarchy) MAFD() *MAF { return h.mafD }
+
+// translate maps a virtual address through the hierarchy's policy.
+func (h *Hierarchy) translate(vaddr uint64) uint64 {
+	return vm.Translate(h.Mapper, vaddr)
+}
+
+// l2Access runs one access at the L2 and below, returning its
+// load-to-use latency from the L2 probe onward. It handles the L2
+// bus, the L2 MAF, DRAM, and fills.
+func (h *Hierarchy) l2Access(paddr uint64, write bool, now uint64) (lat int, l2Hit bool) {
+	t := now
+	if h.l2BusFreeAt > t {
+		lat += int(h.l2BusFreeAt - t)
+		t = h.l2BusFreeAt
+	}
+	h.l2BusFreeAt = t + uint64(h.Cfg.L2BusBeats)
+
+	if hit, _ := h.L2.Probe(paddr, write); hit {
+		return lat + h.Cfg.L2.HitLatency, true
+	}
+	block := h.L2.Block(paddr)
+	if fillAt, ok := h.mafL2.Lookup(block, t); ok {
+		// Combine with the in-flight miss.
+		return lat + h.Cfg.L2.HitLatency + int(fillAt-t), false
+	}
+	memLat := h.Mem.Access(paddr, t+uint64(h.Cfg.L2.HitLatency))
+	total := h.Cfg.L2.HitLatency + memLat
+	if stallUntil, ok := h.mafL2.Allocate(block, t, t+uint64(total)); !ok {
+		total += int(stallUntil - t)
+		h.mafL2.Allocate(block, stallUntil, t+uint64(total))
+	}
+	h.L2.Insert(paddr, write)
+	return lat + total, false
+}
+
+// Data performs one data access (load or store) beginning at now and
+// returns its cost and classification.
+func (h *Hierarchy) Data(vaddr uint64, write bool, now uint64) Result {
+	var res Result
+	paddr := h.translate(vaddr)
+	res.PAddr = paddr
+	if !h.DTLB.Lookup(vaddr) {
+		res.TLBMiss = true
+		res.WalkCycles = h.walk(vaddr, now)
+	}
+	block := h.L1D.Block(paddr)
+	// A block whose miss is still in flight is in the cache array
+	// (fills are modeled eagerly) but its data has not arrived:
+	// combine with the outstanding miss.
+	if fillAt, ok := h.mafD.Lookup(block, now); ok {
+		h.L1D.Probe(paddr, write) // keep LRU and dirty state honest
+		res.Latency = int(fillAt - now)
+		if res.Latency < h.Cfg.L1D.HitLatency {
+			res.Latency = h.Cfg.L1D.HitLatency
+		}
+		return res
+	}
+	if hit, _ := h.L1D.Probe(paddr, write); hit {
+		res.L1Hit = true
+		res.Latency = h.Cfg.L1D.HitLatency
+		return res
+	}
+	if h.VB != nil {
+		if hit, dirty := h.VB.Probe(block); hit {
+			res.VBHit = true
+			res.Latency = h.Cfg.VBHitLatency
+			h.insertL1D(paddr, dirty || write, now)
+			return res
+		}
+	}
+	// A full miss file delays the start of the access until an entry
+	// frees (the mbox-trap condition); it does not extend the fill,
+	// because DRAM serialization is already modeled by the banks.
+	t := now
+	var total int
+	if full, freeAt := h.mafD.Full(t); full {
+		res.MAFFull = true
+		total += int(freeAt - t)
+		t = freeAt
+	}
+	// The L1 miss overhead delays when the L2 sees the probe, but the
+	// paper's 13-cycle L2 load-to-use already covers it.
+	lat, l2Hit := h.l2Access(paddr, write, t+uint64(h.Cfg.L1MissOverhead))
+	res.L2Hit = l2Hit
+	total += lat
+	if !h.Cfg.SharedMAF {
+		// Per-cache file: this miss also occupies a data-side entry
+		// until its fill returns. (With a shared file the entry was
+		// already taken inside l2Access.)
+		h.mafD.Allocate(block, t, t+uint64(lat))
+	}
+	h.insertL1D(paddr, write, now)
+	res.Latency = total
+	return res
+}
+
+// insertL1D fills a block into the L1D, spilling the victim into the
+// victim buffer and write-backs into the L2.
+func (h *Hierarchy) insertL1D(paddr uint64, dirty bool, now uint64) {
+	victim, ok, victimDirty := h.L1D.Insert(paddr, dirty)
+	if !ok {
+		return
+	}
+	if h.VB != nil {
+		if disp, dispDirty, dispOK := h.VB.Insert(victim, victimDirty); dispOK && dispDirty {
+			h.L2.Insert(disp, true)
+		}
+		return
+	}
+	if victimDirty {
+		h.L2.Insert(victim, true)
+	}
+}
+
+// Inst performs one instruction fetch probe for the packet at vaddr.
+// It returns the access result plus the I-cache set and hitting way,
+// which the front end needs for way prediction.
+func (h *Hierarchy) Inst(vaddr uint64, now uint64) (Result, int, uint8) {
+	var res Result
+	paddr := h.translate(vaddr)
+	res.PAddr = paddr
+	if !h.ITLB.Lookup(vaddr) {
+		res.TLBMiss = true
+		res.WalkCycles = h.walk(vaddr, now)
+	}
+	set := h.L1I.Set(paddr)
+	block := h.L1I.Block(paddr)
+	t := now
+	if fillAt, ok := h.mafI.Lookup(block, t); ok {
+		h.L1I.Probe(paddr, false)
+		res.Latency = int(fillAt - t)
+		if res.Latency < h.Cfg.L1I.HitLatency {
+			res.Latency = h.Cfg.L1I.HitLatency
+		}
+		_, way := h.L1I.Peek(paddr)
+		return res, set, uint8(way)
+	}
+	if hit, way := h.L1I.Probe(paddr, false); hit {
+		res.L1Hit = true
+		res.Latency = h.Cfg.L1I.HitLatency
+		return res, set, uint8(way)
+	}
+	var total int
+	if full, freeAt := h.mafI.Full(t); full {
+		res.MAFFull = true
+		total += int(freeAt - t)
+		t = freeAt
+	}
+	lat, l2Hit := h.l2Access(paddr, false, t+uint64(h.Cfg.L1MissOverhead))
+	res.L2Hit = l2Hit
+	total += lat
+	if !h.Cfg.SharedMAF {
+		h.mafI.Allocate(block, t, t+uint64(lat))
+	}
+	h.L1I.Insert(paddr, false)
+	_, way := h.L1I.Peek(paddr)
+	res.Latency = total
+	return res, set, uint8(way)
+}
+
+// PrefetchInst issues a hardware instruction prefetch for the line at
+// vaddr (the 21264 prefetches up to four lines on an I-miss). The
+// fill consumes MAF and bus resources but stalls nothing.
+func (h *Hierarchy) PrefetchInst(vaddr uint64, now uint64) {
+	paddr := h.translate(vaddr)
+	if hit, _ := h.L1I.Peek(paddr); hit {
+		return
+	}
+	block := h.L1I.Block(paddr)
+	if _, ok := h.mafI.Lookup(block, now); ok {
+		return
+	}
+	lat, _ := h.l2Access(paddr, false, now+uint64(h.Cfg.L1MissOverhead))
+	total := h.Cfg.L1MissOverhead + lat
+	if _, ok := h.mafI.Allocate(block, now, now+uint64(total)); !ok {
+		return // no free MAF entry: drop the prefetch
+	}
+	h.Prefetches++
+	h.L1I.Insert(paddr, false)
+}
+
+// walk charges the cost of a hardware page-table walk: WalkLevels
+// dependent PTE reads served by the L2 and DRAM.
+func (h *Hierarchy) walk(vaddr uint64, now uint64) int {
+	total := 0
+	t := now
+	for _, pte := range vm.WalkAddrs(vaddr) {
+		lat, _ := h.l2Access(pte, false, t)
+		total += lat
+		t += uint64(lat)
+	}
+	return total
+}
+
+// FlushL1I empties the instruction cache (used by tests and the M-IP
+// microbenchmark validation of prefetch efficacy).
+func (h *Hierarchy) FlushL1I() { h.L1I.Reset() }

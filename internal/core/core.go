@@ -1,0 +1,99 @@
+// Package core defines the contracts shared by every machine model
+// and experiment in this repository: workloads, machines, and run
+// results. It is the paper's methodology distilled into types — a
+// validation study is a set of (machine, workload) runs whose CPIs
+// are compared against a reference machine's.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// Workload is one benchmark: a program (or a recorded trace) plus an
+// optional dynamic instruction budget.
+type Workload struct {
+	Name string
+	Prog *asm.Program
+	// NewSource, when set, supplies the dynamic stream instead of
+	// executing Prog — e.g. replaying a recorded trace file. It must
+	// return a fresh stream on every call.
+	NewSource func() cpu.Source
+	// FastForward skips this many dynamic instructions before timing
+	// begins (functional state still advances through them), the
+	// standard mechanism for sampling past initialization phases.
+	FastForward uint64
+	// MaxInstructions bounds the run; 0 means run to HALT.
+	MaxInstructions uint64
+	// Category groups workloads in reports ("control", "execute",
+	// "memory", "macro", "calibration").
+	Category string
+}
+
+// Source returns a fresh dynamic instruction stream for the workload.
+func (w Workload) Source() cpu.Source {
+	var c cpu.Source
+	if w.NewSource != nil {
+		c = w.NewSource()
+	} else {
+		c = cpu.New(w.Prog)
+	}
+	for skipped := uint64(0); skipped < w.FastForward; skipped++ {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	if w.MaxInstructions > 0 {
+		return &cpu.Limited{Src: c, Max: w.MaxInstructions}
+	}
+	return c
+}
+
+// RunResult is the outcome of one workload on one machine.
+type RunResult struct {
+	Machine      string
+	Workload     string
+	Instructions uint64
+	Cycles       uint64
+	// Counters holds machine-specific event counts (mispredictions,
+	// replay traps, cache misses, ...) keyed by short names.
+	Counters map[string]uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r RunResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// CPI returns cycles per retired instruction.
+func (r RunResult) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// String summarizes the result.
+func (r RunResult) String() string {
+	return fmt.Sprintf("%s/%s: %d insts, %d cycles, IPC %.3f",
+		r.Machine, r.Workload, r.Instructions, r.Cycles, r.IPC())
+}
+
+// Counter returns a named counter, or 0 when absent.
+func (r RunResult) Counter(name string) uint64 { return r.Counters[name] }
+
+// Machine is any timing model that can run a workload. Machines are
+// single-use per run internally but Run must be callable repeatedly
+// (each call constructs fresh microarchitectural state).
+type Machine interface {
+	// Name identifies the machine in reports ("sim-alpha", ...).
+	Name() string
+	// Run executes the workload to completion (or its instruction
+	// budget) and returns timing results.
+	Run(w Workload) (RunResult, error)
+}

@@ -1,0 +1,406 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// buildAndRun assembles the program built by f and runs it to halt.
+func buildAndRun(t *testing.T, f func(b *asm.Builder)) *CPU {
+	t.Helper()
+	b := asm.NewBuilder(t.Name())
+	f(b)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadImm(isa.T0, 7)
+		b.LoadImm(isa.T1, 5)
+		b.Op(isa.OpAddq, isa.T0, isa.T1, isa.T2)  // 12
+		b.Op(isa.OpSubq, isa.T0, isa.T1, isa.T3)  // 2
+		b.Op(isa.OpMulq, isa.T0, isa.T1, isa.T4)  // 35
+		b.OpI(isa.OpSll, isa.T0, 2, isa.T5)       // 28
+		b.Op(isa.OpCmplt, isa.T1, isa.T0, isa.T6) // 1
+		b.Halt()
+	})
+	want := map[isa.Reg]uint64{isa.T2: 12, isa.T3: 2, isa.T4: 35, isa.T5: 28, isa.T6: 1}
+	for r, w := range want {
+		if c.R[r] != w {
+			t.Errorf("r%d = %d, want %d", r, c.R[r], w)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadImm(isa.T0, -8)
+		b.OpI(isa.OpSra, isa.T0, 1, isa.T1)  // -4
+		b.OpI(isa.OpSrl, isa.T0, 60, isa.T2) // high bits of two's complement
+		b.LoadImm(isa.T3, -1)
+		b.OpI(isa.OpCmplt, isa.T3, 0, isa.T4)  // -1 < 0 => 1
+		b.OpI(isa.OpCmpult, isa.T3, 0, isa.T5) // unsigned max < 0 => 0
+		b.Halt()
+	})
+	if int64(c.R[isa.T1]) != -4 {
+		t.Errorf("sra = %d, want -4", int64(c.R[isa.T1]))
+	}
+	if c.R[isa.T2] != 0xf {
+		t.Errorf("srl = %#x, want 0xf", c.R[isa.T2])
+	}
+	if c.R[isa.T4] != 1 || c.R[isa.T5] != 0 {
+		t.Errorf("cmplt=%d cmpult=%d", c.R[isa.T4], c.R[isa.T5])
+	}
+}
+
+func TestZeroRegister(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.OpI(isa.OpAddq, isa.Zero, 5, isa.Zero) // write to r31 discarded
+		b.Op(isa.OpAddq, isa.Zero, isa.Zero, isa.T0)
+		b.Halt()
+	})
+	if c.R[isa.Zero] != 0 || c.R[isa.T0] != 0 {
+		t.Errorf("zero register leaked: r31=%d t0=%d", c.R[isa.Zero], c.R[isa.T0])
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.Quads("arr", 0x1122334455667788, 42)
+		b.LoadAddr(isa.T0, "arr")
+		b.Mem(isa.OpLdq, isa.T1, 0, isa.T0)
+		b.Mem(isa.OpLdq, isa.T2, 8, isa.T0)
+		b.Mem(isa.OpStq, isa.T2, 16, isa.T0)
+		b.Mem(isa.OpLdq, isa.T3, 16, isa.T0)
+		b.Mem(isa.OpLdl, isa.T4, 0, isa.T0) // low 32 bits sign-extended
+		b.Mem(isa.OpStl, isa.T1, 24, isa.T0)
+		b.Mem(isa.OpLdq, isa.T5, 24, isa.T0)
+		b.Halt()
+	})
+	if c.R[isa.T1] != 0x1122334455667788 {
+		t.Errorf("ldq = %#x", c.R[isa.T1])
+	}
+	if c.R[isa.T2] != 42 || c.R[isa.T3] != 42 {
+		t.Errorf("store/load roundtrip: %d %d", c.R[isa.T2], c.R[isa.T3])
+	}
+	if c.R[isa.T4] != 0x55667788 {
+		t.Errorf("ldl = %#x", c.R[isa.T4])
+	}
+	if c.R[isa.T5] != 0x55667788 {
+		t.Errorf("stl stored %#x", c.R[isa.T5])
+	}
+}
+
+func TestLdlSignExtends(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.Quads("v", 0x00000000_80000000)
+		b.LoadAddr(isa.T0, "v")
+		b.Mem(isa.OpLdl, isa.T1, 0, isa.T0)
+		b.Halt()
+	})
+	if int64(c.R[isa.T1]) != -0x80000000 {
+		t.Errorf("ldl = %#x, want sign-extended", c.R[isa.T1])
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadImm(isa.T0, 10)
+		b.LoadImm(isa.T1, 0)
+		b.Label("loop")
+		b.Op(isa.OpAddq, isa.T1, isa.T0, isa.T1)
+		b.OpI(isa.OpSubq, isa.T0, 1, isa.T0)
+		b.Br(isa.OpBne, isa.T0, "loop")
+		b.Halt()
+	})
+	if c.R[isa.T1] != 55 {
+		t.Errorf("sum = %d, want 55", c.R[isa.T1])
+	}
+}
+
+func TestConditionalBranchVariants(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadImm(isa.T0, -3)
+		b.LoadImm(isa.V0, 0)
+		b.Br(isa.OpBlt, isa.T0, "neg")
+		b.Halt()
+		b.Label("neg")
+		b.OpI(isa.OpAddq, isa.V0, 1, isa.V0)
+		b.Br(isa.OpBge, isa.T0, "bad") // not taken
+		b.OpI(isa.OpAddq, isa.V0, 2, isa.V0)
+		b.Halt()
+		b.Label("bad")
+		b.OpI(isa.OpAddq, isa.V0, 100, isa.V0)
+		b.Halt()
+	})
+	if c.R[isa.V0] != 3 {
+		t.Errorf("v0 = %d, want 3", c.R[isa.V0])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.Label("main")
+		b.LoadImm(isa.A0, 20)
+		b.Br(isa.OpBsr, isa.RA, "double")
+		b.Op(isa.OpAddq, isa.V0, isa.Zero, isa.S0)
+		b.Halt()
+		b.Label("double")
+		b.Op(isa.OpAddq, isa.A0, isa.A0, isa.V0)
+		b.Jump(isa.OpRet, isa.Zero, isa.RA)
+	})
+	if c.R[isa.S0] != 40 {
+		t.Errorf("s0 = %d, want 40", c.R[isa.S0])
+	}
+}
+
+func TestIndirectJumpTable(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadAddr(isa.T0, "case2")
+		b.Jump(isa.OpJmp, isa.Zero, isa.T0)
+		b.Label("case1")
+		b.LoadImm(isa.V0, 1)
+		b.Halt()
+		b.Label("case2")
+		b.LoadImm(isa.V0, 2)
+		b.Halt()
+	})
+	if c.R[isa.V0] != 2 {
+		t.Errorf("v0 = %d, want 2", c.R[isa.V0])
+	}
+}
+
+func TestCmov(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadImm(isa.T0, 0)
+		b.LoadImm(isa.T1, 9)
+		b.LoadImm(isa.T2, 1)
+		b.Op(isa.OpCmoveq, isa.T0, isa.T1, isa.T3) // t0==0 -> t3=9
+		b.Op(isa.OpCmovne, isa.T0, isa.T1, isa.T4) // t0!=0 false -> t4 unchanged (0)
+		b.Op(isa.OpCmovne, isa.T2, isa.T1, isa.T5) // t2!=0 -> t5=9
+		b.Halt()
+	})
+	if c.R[isa.T3] != 9 || c.R[isa.T4] != 0 || c.R[isa.T5] != 9 {
+		t.Errorf("cmov: %d %d %d", c.R[isa.T3], c.R[isa.T4], c.R[isa.T5])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.Quads("vals", 0x4008000000000000, 0x3ff0000000000000) // 3.0, 1.0
+		b.LoadAddr(isa.T0, "vals")
+		b.Mem(isa.OpLdt, 1, 0, isa.T0)    // f1 = 3.0
+		b.Mem(isa.OpLdt, 2, 8, isa.T0)    // f2 = 1.0
+		b.Op(isa.OpAddt, 1, 2, 3)         // 4.0
+		b.Op(isa.OpMult, 1, 3, 4)         // 12.0
+		b.Op(isa.OpDivt, 4, 1, 5)         // 4.0
+		b.Op(isa.OpSqrtt, isa.Zero, 3, 6) // 2.0
+		b.Op(isa.OpSubt, 3, 2, 7)         // 3.0
+		b.Op(isa.OpCmpteq, 7, 1, 8)       // 2.0 (equal)
+		b.Op(isa.OpCmptlt, 1, 2, 9)       // 0.0
+		b.Mem(isa.OpStt, 6, 16, isa.T0)
+		b.Halt()
+	})
+	checks := map[isa.Reg]float64{3: 4, 4: 12, 5: 4, 6: 2, 7: 3, 8: 2, 9: 0}
+	for r, w := range checks {
+		if c.F[r] != w {
+			t.Errorf("f%d = %v, want %v", r, c.F[r], w)
+		}
+	}
+	if got := c.Mem.Read64(c.Prog.Symbols["vals"] + 16); got != 0x4000000000000000 {
+		t.Errorf("stt stored %#x", got)
+	}
+}
+
+func TestSinglePrecision(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.Quads("vals", 0x3ff0000000000000) // 1.0
+		b.LoadAddr(isa.T0, "vals")
+		b.Mem(isa.OpLdt, 1, 0, isa.T0)
+		b.Op(isa.OpAdds, 1, 1, 2)         // 2.0
+		b.Op(isa.OpDivs, 2, 1, 3)         // 2.0
+		b.Op(isa.OpSqrts, isa.Zero, 2, 4) // sqrt(2) in float32
+		b.Mem(isa.OpSts, 2, 8, isa.T0)
+		b.Mem(isa.OpLds, 5, 8, isa.T0)
+		b.Halt()
+	})
+	if c.F[2] != 2.0 || c.F[3] != 2.0 || c.F[5] != 2.0 {
+		t.Errorf("single: f2=%v f3=%v f5=%v", c.F[2], c.F[3], c.F[5])
+	}
+	if got, want := c.F[4], float64(float32(1.4142135623730951)); got != want {
+		t.Errorf("sqrts = %v, want %v", got, want)
+	}
+}
+
+func TestRecordStream(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.LoadImm(isa.T0, 2) // 1 inst (lda)
+	b.Label("loop")
+	b.OpI(isa.OpSubq, isa.T0, 1, isa.T0)
+	b.Br(isa.OpBne, isa.T0, "loop")
+	b.Halt()
+	p := b.MustAssemble()
+	c := New(p)
+	var recs []Record
+	for {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+	}
+	// lda, sub, bne(taken), sub, bne(not), halt
+	if len(recs) != 6 {
+		t.Fatalf("records = %d, want 6", len(recs))
+	}
+	if !recs[2].Taken || recs[2].NextPC != p.Symbols["loop"] {
+		t.Errorf("taken branch record wrong: %+v", recs[2])
+	}
+	if recs[4].Taken {
+		t.Errorf("fall-through branch marked taken")
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Errorf("seq %d = %d", i, r.Seq)
+		}
+	}
+	if !c.Halted() {
+		t.Error("CPU not halted")
+	}
+	if _, ok := c.Next(); ok {
+		t.Error("Next after halt returned a record")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.Label("spin")
+	b.Br(isa.OpBr, isa.Zero, "spin")
+	p := b.MustAssemble()
+	c := New(p)
+	if _, err := c.Run(100); err == nil {
+		t.Fatal("expected limit error for infinite loop")
+	}
+}
+
+func TestPCOutsideText(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.Unop(1) // falls off the end without halt
+	p := b.MustAssemble()
+	c := New(p)
+	c.Next()
+	if _, ok := c.Next(); ok || c.Err() == nil {
+		t.Fatal("expected error for PC outside text")
+	}
+}
+
+func TestLimitedSource(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.Label("spin")
+	b.Br(isa.OpBr, isa.Zero, "spin")
+	p := b.MustAssemble()
+	l := &Limited{Src: New(p), Max: 10}
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("Limited delivered %d, want 10", n)
+	}
+}
+
+func TestMemRecordEA(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.Quads("x", 5)
+	b.LoadAddr(isa.T0, "x")
+	b.Mem(isa.OpLdq, isa.T1, 0, isa.T0)
+	b.Halt()
+	p := b.MustAssemble()
+	c := New(p)
+	var load Record
+	for {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		if r.Inst.Op == isa.OpLdq {
+			load = r
+		}
+	}
+	if load.EA != p.Symbols["x"] {
+		t.Errorf("EA = %#x, want %#x", load.EA, p.Symbols["x"])
+	}
+}
+
+func TestExtendedIntegerOps(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadImm(isa.T0, 5)
+		b.LoadImm(isa.T1, 100)
+		b.Op(isa.OpS4addq, isa.T0, isa.T1, isa.T2) // 120
+		b.Op(isa.OpS8addq, isa.T0, isa.T1, isa.T3) // 140
+		b.LoadImm(isa.T4, 0x1122334455667788)
+		b.OpI(isa.OpZapnot, isa.T4, 0x0f, isa.T5) // keep low 4 bytes
+		b.OpI(isa.OpExtbl, isa.T4, 6, isa.T6)     // byte 6 = 0x22
+		b.Halt()
+	})
+	if c.R[isa.T2] != 120 || c.R[isa.T3] != 140 {
+		t.Errorf("scaled adds: %d %d", c.R[isa.T2], c.R[isa.T3])
+	}
+	if c.R[isa.T5] != 0x55667788 {
+		t.Errorf("zapnot = %#x", c.R[isa.T5])
+	}
+	if c.R[isa.T6] != 0x22 {
+		t.Errorf("extbl = %#x", c.R[isa.T6])
+	}
+}
+
+func TestByteMemoryOps(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.Quads("buf", 0)
+		b.LoadAddr(isa.T0, "buf")
+		b.LoadImm(isa.T1, 0x1AB)
+		b.Mem(isa.OpStb, isa.T1, 3, isa.T0) // stores 0xAB
+		b.Mem(isa.OpLdbu, isa.T2, 3, isa.T0)
+		b.Mem(isa.OpLdq, isa.T3, 0, isa.T0)
+		b.Halt()
+	})
+	if c.R[isa.T2] != 0xAB {
+		t.Errorf("ldbu = %#x", c.R[isa.T2])
+	}
+	if c.R[isa.T3] != 0xAB000000 {
+		t.Errorf("quad after stb = %#x", c.R[isa.T3])
+	}
+}
+
+func TestLowBitBranches(t *testing.T) {
+	c := buildAndRun(t, func(b *asm.Builder) {
+		b.LoadImm(isa.T0, 7) // odd
+		b.Br(isa.OpBlbs, isa.T0, "odd")
+		b.LoadImm(isa.V0, 1)
+		b.Halt()
+		b.Label("odd")
+		b.LoadImm(isa.V0, 2)
+		b.Br(isa.OpBlbc, isa.T0, "bad")
+		b.OpI(isa.OpAddq, isa.V0, 10, isa.V0)
+		b.Halt()
+		b.Label("bad")
+		b.LoadImm(isa.V0, 99)
+		b.Halt()
+	})
+	if c.R[isa.V0] != 12 {
+		t.Errorf("v0 = %d, want 12", c.R[isa.V0])
+	}
+}

@@ -1,0 +1,43 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceReader: arbitrary bytes must never panic the trace reader;
+// every record it does yield must be internally consistent.
+func FuzzTraceReader(f *testing.F) {
+	p := traceFixtureProgram()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := tw.Record(New(p)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("AXPT\x01\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var prev uint64
+		for {
+			rec, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if rec.Seq != prev {
+				t.Fatalf("sequence gap: %d after %d", rec.Seq, prev)
+			}
+			prev++
+			if !rec.Inst.Op.Valid() {
+				t.Fatal("invalid opcode escaped the decoder")
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package cpu
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Trace file format ("AXPT"): a compact binary dynamic-instruction
+// trace. The timing models consume cpu.Source, so a recorded trace
+// replays through any machine exactly like a live functional run —
+// the classic trace-driven simulation workflow.
+//
+//	magic   [4]byte "AXPT"
+//	version uint32  1
+//	records until EOF, each:
+//	  pc     uint64
+//	  word   uint32  (encoded instruction)
+//	  flags  uint8   (bit0: taken, bit1: has nextPC, bit2: has EA)
+//	  nextPC uint64  (only when non-sequential)
+//	  ea     uint64  (only for memory operations)
+//
+// Sequence numbers are implicit (record order).
+
+const (
+	traceMagic   = "AXPT"
+	traceVersion = 1
+
+	flagTaken  = 1 << 0
+	flagNextPC = 1 << 1
+	flagEA     = 1 << 2
+)
+
+// TraceWriter streams records to an underlying writer.
+type TraceWriter struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewTraceWriter writes a trace header and returns the writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], traceVersion)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *TraceWriter) Write(rec Record) error {
+	if t.err != nil {
+		return t.err
+	}
+	var buf [29]byte
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], rec.PC)
+	word, err := rec.Inst.Encode()
+	if err != nil {
+		t.err = err
+		return err
+	}
+	le.PutUint32(buf[8:], word)
+	var flags uint8
+	if rec.Taken {
+		flags |= flagTaken
+	}
+	n := 13
+	if rec.NextPC != rec.PC+isa.WordBytes {
+		flags |= flagNextPC
+		le.PutUint64(buf[n:], rec.NextPC)
+		n += 8
+	}
+	if rec.Inst.Op.Class().IsMem() {
+		flags |= flagEA
+		le.PutUint64(buf[n:], rec.EA)
+		n += 8
+	}
+	buf[12] = flags
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Records returns how many records have been written.
+func (t *TraceWriter) Records() uint64 { return t.n }
+
+// Flush commits buffered records to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Record drains a Source into the writer, returning the record count.
+func (t *TraceWriter) Record(src Source) (uint64, error) {
+	var n uint64
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := t.Write(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, t.Flush()
+}
+
+// TraceReader replays a recorded trace as a Source.
+type TraceReader struct {
+	r   *bufio.Reader
+	seq uint64
+	err error
+}
+
+// NewTraceReader validates the header and returns a replaying Source.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("cpu: reading trace header: %w", err)
+	}
+	if string(head[:4]) != traceMagic {
+		return nil, fmt.Errorf("cpu: not an AXPT trace")
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != traceVersion {
+		return nil, fmt.Errorf("cpu: unsupported trace version %d", v)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Err returns the first malformed-trace error, if any. io.EOF at a
+// record boundary is normal termination, not an error.
+func (t *TraceReader) Err() error { return t.err }
+
+// Next implements Source.
+func (t *TraceReader) Next() (Record, bool) {
+	if t.err != nil {
+		return Record{}, false
+	}
+	var head [13]byte
+	if _, err := io.ReadFull(t.r, head[:]); err != nil {
+		if err != io.EOF {
+			t.err = fmt.Errorf("cpu: truncated trace record: %w", err)
+		}
+		return Record{}, false
+	}
+	le := binary.LittleEndian
+	rec := Record{Seq: t.seq, PC: le.Uint64(head[0:])}
+	word := le.Uint32(head[8:])
+	in, err := isa.Decode(word)
+	if err != nil {
+		t.err = fmt.Errorf("cpu: record %d: %w", t.seq, err)
+		return Record{}, false
+	}
+	rec.Inst = in
+	flags := head[12]
+	rec.Taken = flags&flagTaken != 0
+	rec.NextPC = rec.PC + isa.WordBytes
+	if flags&flagNextPC != 0 {
+		var b [8]byte
+		if _, err := io.ReadFull(t.r, b[:]); err != nil {
+			t.err = fmt.Errorf("cpu: truncated trace record: %w", err)
+			return Record{}, false
+		}
+		rec.NextPC = le.Uint64(b[:])
+	}
+	if flags&flagEA != 0 {
+		var b [8]byte
+		if _, err := io.ReadFull(t.r, b[:]); err != nil {
+			t.err = fmt.Errorf("cpu: truncated trace record: %w", err)
+			return Record{}, false
+		}
+		rec.EA = le.Uint64(b[:])
+	}
+	t.seq++
+	return rec, true
+}

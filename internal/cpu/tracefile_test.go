@@ -1,0 +1,132 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func traceFixture(t *testing.T) *asm.Program {
+	t.Helper()
+	return traceFixtureProgram()
+}
+
+func traceFixtureProgram() *asm.Program {
+	b := asm.NewBuilder("trace-fixture")
+	b.Quads("arr", 5, 6, 7, 8)
+	b.Label("main")
+	b.LoadAddr(isa.S0, "arr")
+	b.LoadImm(isa.T0, 50)
+	b.Label("loop")
+	b.Mem(isa.OpLdq, isa.T1, 0, isa.S0)
+	b.Op(isa.OpAddq, isa.T2, isa.T1, isa.T2)
+	b.Mem(isa.OpStq, isa.T2, 8, isa.S0)
+	b.OpI(isa.OpSubq, isa.T0, 1, isa.T0)
+	b.Br(isa.OpBne, isa.T0, "loop")
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	p := traceFixture(t)
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tw.Record(New(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || tw.Records() != n {
+		t.Fatalf("recorded %d records, writer says %d", n, tw.Records())
+	}
+
+	// Replay and compare against a fresh functional run, field by
+	// field.
+	tr, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := New(p)
+	var count uint64
+	for {
+		want, okLive := live.Next()
+		got, okTrace := tr.Next()
+		if okLive != okTrace {
+			t.Fatalf("stream lengths diverge at %d (live %v, trace %v)", count, okLive, okTrace)
+		}
+		if !okLive {
+			break
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v vs %+v", count, got, want)
+		}
+		count++
+	}
+	if tr.Err() != nil {
+		t.Fatalf("trace reader error: %v", tr.Err())
+	}
+	if count != n {
+		t.Fatalf("replayed %d records, recorded %d", count, n)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("accepted short garbage")
+	}
+	if _, err := NewTraceReader(bytes.NewReader([]byte("XXXXxxxx"))); err == nil {
+		t.Error("accepted bad magic")
+	}
+	if _, err := NewTraceReader(bytes.NewReader([]byte("AXPT\x09\x00\x00\x00"))); err == nil {
+		t.Error("accepted bad version")
+	}
+}
+
+func TestTraceTruncationReported(t *testing.T) {
+	p := traceFixture(t)
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf)
+	if _, err := tw.Record(New(p)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut in the middle of a record: reader must stop with an error.
+	cut := full[:len(full)-3]
+	tr, err := NewTraceReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+	}
+	if tr.Err() == nil {
+		t.Error("mid-record truncation not reported")
+	}
+}
+
+func TestTraceEmptyIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Next(); ok {
+		t.Error("empty trace yielded a record")
+	}
+	if tr.Err() != nil {
+		t.Errorf("empty trace errored: %v", tr.Err())
+	}
+}

@@ -1,0 +1,96 @@
+package dcpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func run(cycles uint64) core.RunResult {
+	return core.RunResult{Machine: "native", Workload: "w", Instructions: cycles / 2, Cycles: cycles}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Measure(cfg, run(10_000_000))
+	b := Measure(cfg, run(10_000_000))
+	if a.Cycles != b.Cycles {
+		t.Fatalf("nondeterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestMeasurePerturbsWithinBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	true_ := run(50_000_000)
+	m := Measure(cfg, true_)
+	if m.Instructions != true_.Instructions {
+		t.Error("instruction count must be exact")
+	}
+	rel := math.Abs(float64(m.Cycles)-float64(true_.Cycles)) / float64(true_.Cycles)
+	if rel > 0.01 {
+		t.Errorf("perturbation %.4f exceeds 1%%", rel)
+	}
+	if m.Cycles == true_.Cycles {
+		t.Error("measurement identical to truth; expected dilation/jitter")
+	}
+}
+
+func TestSmallerIntervalDilatesMore(t *testing.T) {
+	fine := Config{IntervalCycles: 1000, DilationPerSample: 8, JitterPPM: 0}
+	coarse := Config{IntervalCycles: 64000, DilationPerSample: 8, JitterPPM: 0}
+	base := run(10_000_000)
+	f := Measure(fine, base)
+	c := Measure(coarse, base)
+	if f.Cycles <= c.Cycles {
+		t.Errorf("fine sampling %d should dilate more than coarse %d", f.Cycles, c.Cycles)
+	}
+}
+
+func TestZeroIntervalPassthrough(t *testing.T) {
+	m := Measure(Config{}, run(1000))
+	if m.Cycles != 1000 {
+		t.Error("zero interval should be identity")
+	}
+}
+
+func TestWorkloadsPerturbDifferently(t *testing.T) {
+	cfg := DefaultConfig()
+	a := core.RunResult{Workload: "a", Instructions: 1, Cycles: 80_000_000}
+	b := core.RunResult{Workload: "b", Instructions: 1, Cycles: 80_000_000}
+	ma, mb := Measure(cfg, a), Measure(cfg, b)
+	if ma.Cycles == mb.Cycles {
+		t.Error("distinct workloads got identical jitter; suspicious hash")
+	}
+}
+
+func TestCounterQuantization(t *testing.T) {
+	cfg := DefaultConfig()
+	r := core.RunResult{
+		Workload:     "w",
+		Instructions: 1000,
+		Cycles:       400_000, // 10 samples
+		Counters:     map[string]uint64{"traps": 123457, "rare": 3},
+	}
+	m := Measure(cfg, r)
+	// Large counters are quantized (lose low-order precision) but
+	// stay within one quantum.
+	unit := r.Counters["traps"] / (r.Cycles / cfg.IntervalCycles)
+	got := m.Counters["traps"]
+	diff := int64(got) - int64(r.Counters["traps"])
+	if diff < 0 {
+		diff = -diff
+	}
+	if uint64(diff) > unit {
+		t.Errorf("traps quantized to %d, more than one unit (%d) from %d",
+			got, unit, r.Counters["traps"])
+	}
+	// Small counters pass through (unit <= 1).
+	if m.Counters["rare"] != 3 {
+		t.Errorf("rare counter perturbed: %d", m.Counters["rare"])
+	}
+	// Originals untouched.
+	if r.Counters["traps"] != 123457 {
+		t.Error("Measure mutated its input")
+	}
+}

@@ -1,0 +1,43 @@
+package dram
+
+import "testing"
+
+// Ablation bench: open-page versus closed-page policy on a streaming
+// access pattern (DESIGN.md calls out the page policy as a calibrated
+// design choice; the open policy should be materially faster here).
+func BenchmarkOpenPageStream(b *testing.B) {
+	benchPolicy(b, true)
+}
+
+func BenchmarkClosedPageStream(b *testing.B) {
+	benchPolicy(b, false)
+}
+
+func benchPolicy(b *testing.B, open bool) {
+	cfg := DS10LConfig()
+	cfg.OpenPage = open
+	d := New(cfg)
+	now := uint64(0)
+	var total int
+	for i := 0; i < b.N; i++ {
+		lat := d.Access(uint64(i%4096)*64, now)
+		total += lat
+		now += uint64(lat)
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(total)/float64(b.N), "cycles/access")
+	}
+}
+
+func BenchmarkRandomAccess(b *testing.B) {
+	d := New(DS10LConfig())
+	now := uint64(0)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		lat := d.Access(x%(1<<28), now)
+		now += uint64(lat)
+	}
+}

@@ -1,0 +1,196 @@
+// Package inorder implements a simple single-issue, in-order,
+// blocking-cache timing model in the mold of Mipsy (the processor
+// model in the FLASH validation study the paper discusses as related
+// work). It is deliberately the simplest credible timing model: one
+// instruction per cycle at best, stalls on every cache miss, a
+// bimodal branch predictor with a fixed misprediction penalty.
+//
+// It extends the paper's comparison set: where the RUU model is
+// optimistic and the stripped model pessimistic, the in-order model
+// bounds performance from far below, which makes it useful in
+// stability studies as a degenerate "simulator" a careless researcher
+// might reach for.
+package inorder
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/predict"
+	"repro/internal/vm"
+)
+
+// Config describes the in-order machine.
+type Config struct {
+	MachineName string
+
+	// BranchPenalty is the flush cost of a mispredicted branch.
+	BranchPenalty int
+	// BimodalBits sizes the 2-bit-counter direction predictor table.
+	BimodalBits int
+
+	Hier      cache.HierarchyConfig
+	DRAM      dram.Config
+	NewMapper func() vm.Mapper
+}
+
+// DefaultConfig returns the machine with DS-10L-like caches.
+func DefaultConfig() Config {
+	hier := cache.DS10L()
+	hier.VictimEntries = 0
+	return Config{
+		MachineName:   "sim-inorder",
+		BranchPenalty: 3,
+		BimodalBits:   11,
+		Hier:          hier,
+		DRAM:          dram.DS10LConfig(),
+		NewMapper:     func() vm.Mapper { return &vm.SeqMapper{} },
+	}
+}
+
+// Machine implements core.Machine.
+type Machine struct {
+	cfg Config
+}
+
+// New returns a machine for the configuration.
+func New(cfg Config) *Machine { return &Machine{cfg: cfg} }
+
+// Name implements core.Machine.
+func (m *Machine) Name() string { return m.cfg.MachineName }
+
+// Run implements core.Machine. The model is a straightforward
+// accumulation: each instruction costs at least one cycle, plus its
+// execution latency beyond one when a dependent follows immediately
+// (in-order machines expose full latency), plus memory and
+// misprediction stalls.
+func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
+	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), dram.New(m.cfg.DRAM))
+	bimodal := make([]predict.SatCounter, 1<<m.cfg.BimodalBits)
+	for i := range bimodal {
+		bimodal[i] = predict.NewSatCounter(2, 1)
+	}
+	src := w.Source()
+
+	var cycle, retired uint64
+	var nBrMiss, nDMiss, nIMiss uint64
+	// regReadyAt holds the cycle each architectural register's value
+	// becomes available; in-order issue waits for sources.
+	var regReadyAt [2][isa.NumRegs]uint64
+
+	lastFetchLine := uint64(1) << 63
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		// Fetch: one I-cache access per line transition.
+		line := rec.PC &^ 63
+		if line != lastFetchLine {
+			res, _, _ := hier.Inst(rec.PC, cycle)
+			if !res.L1Hit {
+				nIMiss++
+				cycle += uint64(res.Latency + res.WalkCycles)
+			}
+			lastFetchLine = line
+		}
+
+		// Wait for source operands (in-order: full latency exposure).
+		for _, s := range rec.Inst.Sources() {
+			file := 0
+			if s.FP {
+				file = 1
+			}
+			if t := regReadyAt[file][s.Reg]; t > cycle {
+				cycle = t
+			}
+		}
+
+		lat := latency(rec.Inst.Op.Class())
+		switch {
+		case rec.Inst.Op.Class().IsLoad():
+			res := hier.Data(rec.EA, false, cycle)
+			if !res.L1Hit && !res.VBHit {
+				nDMiss++
+				// Blocking cache: the whole pipeline waits.
+				cycle += uint64(res.Latency+res.WalkCycles) - 1
+				lat = 1
+			} else {
+				lat = res.Latency
+			}
+		case rec.Inst.Op.Class().IsStore():
+			hier.Data(rec.EA, true, cycle)
+			lat = 1
+		case rec.IsBranch():
+			taken := predictTaken(bimodal, rec.PC)
+			train(bimodal, rec.PC, rec.Taken)
+			mispredict := taken != rec.Taken
+			if rec.Inst.Op.Class() == isa.ClassJump {
+				mispredict = true // no BTB: indirect targets always flush
+			}
+			if mispredict {
+				nBrMiss++
+				cycle += uint64(m.cfg.BranchPenalty)
+			}
+			lat = 1
+		}
+
+		if d, hasDest := rec.Inst.Dest(); hasDest {
+			file := 0
+			if d.FP {
+				file = 1
+			}
+			regReadyAt[file][d.Reg] = cycle + uint64(lat)
+		}
+		cycle++ // single issue
+		retired++
+	}
+	if retired == 0 {
+		return core.RunResult{}, fmt.Errorf("inorder: empty instruction stream")
+	}
+	return core.RunResult{
+		Machine:      m.cfg.MachineName,
+		Workload:     w.Name,
+		Instructions: retired,
+		Cycles:       cycle,
+		Counters: map[string]uint64{
+			"br_mispredicts": nBrMiss,
+			"dcache_misses":  nDMiss,
+			"icache_misses":  nIMiss,
+		},
+	}, nil
+}
+
+func predictTaken(t []predict.SatCounter, pc uint64) bool {
+	return t[int(pc>>2)&(len(t)-1)].Taken()
+}
+
+func train(t []predict.SatCounter, pc uint64, taken bool) {
+	i := int(pc>>2) & (len(t) - 1)
+	if taken {
+		t[i].Inc()
+	} else {
+		t[i].Dec()
+	}
+}
+
+func latency(cls isa.Class) int {
+	switch cls {
+	case isa.ClassIntMul:
+		return 7
+	case isa.ClassFPAdd, isa.ClassFPMul:
+		return 4
+	case isa.ClassFPDivS:
+		return 12
+	case isa.ClassFPDivT:
+		return 15
+	case isa.ClassFPSqrtS:
+		return 18
+	case isa.ClassFPSqrtT:
+		return 33
+	}
+	return 1
+}

@@ -1,0 +1,310 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for i := 0; i < NumOps; i++ {
+		op := Op(i)
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", i)
+		}
+		if op != OpUnop && op != OpHalt && op.Format() == FmtNone {
+			t.Errorf("op %s unexpectedly has FmtNone", op)
+		}
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for i := 0; i < NumOps; i++ {
+		op := Op(i)
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted a bogus mnemonic")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	tests := []struct {
+		op                  Op
+		load, store, br, fp bool
+	}{
+		{OpLdq, true, false, false, false},
+		{OpStq, false, true, false, false},
+		{OpLdt, true, false, false, true},
+		{OpStt, false, true, false, true},
+		{OpBeq, false, false, true, false},
+		{OpBr, false, false, true, false},
+		{OpJmp, false, false, true, false},
+		{OpAddq, false, false, false, false},
+		{OpAddt, false, false, false, true},
+		{OpLda, false, false, false, false}, // address arithmetic, not a memory access
+	}
+	for _, tc := range tests {
+		c := tc.op.Class()
+		if c.IsLoad() != tc.load {
+			t.Errorf("%s IsLoad = %v, want %v", tc.op, c.IsLoad(), tc.load)
+		}
+		if c.IsStore() != tc.store {
+			t.Errorf("%s IsStore = %v, want %v", tc.op, c.IsStore(), tc.store)
+		}
+		if c.IsBranch() != tc.br {
+			t.Errorf("%s IsBranch = %v, want %v", tc.op, c.IsBranch(), tc.br)
+		}
+		if c.IsFP() != tc.fp {
+			t.Errorf("%s IsFP = %v, want %v", tc.op, c.IsFP(), tc.fp)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Inst{
+		{Op: OpAddq, Ra: T0, Rb: T1, Rc: T2},
+		{Op: OpAddq, Ra: T0, UseLit: true, Lit: 255, Rc: T2},
+		{Op: OpLdq, Ra: V0, Rb: SP, Disp: -8},
+		{Op: OpStq, Ra: V0, Rb: SP, Disp: MaxMemDisp},
+		{Op: OpLdq, Ra: V0, Rb: SP, Disp: MinMemDisp},
+		{Op: OpBeq, Ra: T0, Disp: -1},
+		{Op: OpBr, Ra: Zero, Disp: MaxBranchDisp},
+		{Op: OpBsr, Ra: RA, Disp: MinBranchDisp},
+		{Op: OpJmp, Ra: RA, Rb: T12},
+		{Op: OpRet, Ra: Zero, Rb: RA},
+		{Op: OpAddt, Ra: 1, Rb: 2, Rc: 3},
+		{Op: OpUnop},
+		{Op: OpHalt},
+		{Op: OpFbne, Ra: 4, Disp: 12},
+	}
+	for _, in := range tests {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v (%#08x): %v", in, w, err)
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpLdq, Ra: V0, Rb: SP, Disp: MaxMemDisp + 1},
+		{Op: OpLdq, Ra: V0, Rb: SP, Disp: MinMemDisp - 1},
+		{Op: OpBeq, Ra: T0, Disp: MaxBranchDisp + 1},
+		{Op: OpBr, Ra: Zero, Disp: MinBranchDisp - 1},
+		{Op: Op(250), Ra: T0},
+	}
+	for _, in := range bad {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("encode %v: expected error", in)
+		}
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	if _, err := Decode(0xff000000); err == nil {
+		t.Error("Decode accepted an illegal opcode")
+	}
+}
+
+// randomInst builds a canonical random instruction for op.
+func randomInst(op Op, r *rand.Rand) Inst {
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FmtOperate:
+		in.Ra = Reg(r.Intn(NumRegs))
+		in.Rc = Reg(r.Intn(NumRegs))
+		if r.Intn(2) == 0 {
+			in.UseLit = true
+			in.Lit = uint8(r.Intn(256))
+		} else {
+			in.Rb = Reg(r.Intn(NumRegs))
+		}
+	case FmtMemory:
+		in.Ra = Reg(r.Intn(NumRegs))
+		in.Rb = Reg(r.Intn(NumRegs))
+		in.Disp = int32(r.Intn(MaxMemDisp-MinMemDisp+1)) + MinMemDisp
+	case FmtBranch:
+		in.Ra = Reg(r.Intn(NumRegs))
+		in.Disp = int32(r.Intn(MaxBranchDisp-MinBranchDisp+1)) + MinBranchDisp
+	case FmtJump:
+		in.Ra = Reg(r.Intn(NumRegs))
+		in.Rb = Reg(r.Intn(NumRegs))
+	}
+	return in
+}
+
+// Property: every canonical instruction survives an encode/decode
+// round trip for every opcode and random operand values.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(opIdx uint8, seed int64) bool {
+		op := Op(int(opIdx) % NumOps)
+		r := rand.New(rand.NewSource(seed))
+		in := randomInst(op, r)
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sources never reports the zero register and never exceeds
+// three operands; Dest never reports the zero register.
+func TestQuickOperandInvariants(t *testing.T) {
+	f := func(opIdx uint8, seed int64) bool {
+		op := Op(int(opIdx) % NumOps)
+		r := rand.New(rand.NewSource(seed))
+		in := randomInst(op, r)
+		srcs := in.Sources()
+		if len(srcs) > 3 {
+			return false
+		}
+		for _, s := range srcs {
+			if s.Reg == Zero {
+				return false
+			}
+		}
+		if d, ok := in.Dest(); ok && d.Reg == Zero {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourcesAndDest(t *testing.T) {
+	tests := []struct {
+		in      Inst
+		srcs    []RegRef
+		dst     RegRef
+		hasDest bool
+	}{
+		{Inst{Op: OpAddq, Ra: T0, Rb: T1, Rc: T2}, []RegRef{{T0, false}, {T1, false}}, RegRef{T2, false}, true},
+		{Inst{Op: OpAddq, Ra: T0, UseLit: true, Lit: 1, Rc: T2}, []RegRef{{T0, false}}, RegRef{T2, false}, true},
+		{Inst{Op: OpAddq, Ra: Zero, Rb: Zero, Rc: Zero}, nil, RegRef{}, false},
+		{Inst{Op: OpCmovne, Ra: T0, Rb: T1, Rc: T2}, []RegRef{{T0, false}, {T1, false}, {T2, false}}, RegRef{T2, false}, true},
+		{Inst{Op: OpLdq, Ra: V0, Rb: SP, Disp: 8}, []RegRef{{SP, false}}, RegRef{V0, false}, true},
+		{Inst{Op: OpStq, Ra: V0, Rb: SP, Disp: 8}, []RegRef{{SP, false}, {V0, false}}, RegRef{}, false},
+		{Inst{Op: OpStt, Ra: 2, Rb: SP, Disp: 8}, []RegRef{{SP, false}, {2, true}}, RegRef{}, false},
+		{Inst{Op: OpBeq, Ra: T0, Disp: 4}, []RegRef{{T0, false}}, RegRef{}, false},
+		{Inst{Op: OpBsr, Ra: RA, Disp: 4}, nil, RegRef{RA, false}, true},
+		{Inst{Op: OpRet, Ra: Zero, Rb: RA}, []RegRef{{RA, false}}, RegRef{}, false},
+		{Inst{Op: OpFbne, Ra: 3, Disp: 4}, []RegRef{{3, true}}, RegRef{}, false},
+		{Inst{Op: OpUnop}, nil, RegRef{}, false},
+	}
+	for _, tc := range tests {
+		srcs := tc.in.Sources()
+		if len(srcs) != len(tc.srcs) {
+			t.Errorf("%v sources = %v, want %v", tc.in, srcs, tc.srcs)
+			continue
+		}
+		for i := range srcs {
+			if srcs[i] != tc.srcs[i] {
+				t.Errorf("%v sources = %v, want %v", tc.in, srcs, tc.srcs)
+				break
+			}
+		}
+		d, ok := tc.in.Dest()
+		if ok != tc.hasDest || (ok && d != tc.dst) {
+			t.Errorf("%v dest = %v, %v; want %v, %v", tc.in, d, ok, tc.dst, tc.hasDest)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	tests := map[Op]int{
+		OpLdq: 8, OpStq: 8, OpLdt: 8, OpStt: 8,
+		OpLdl: 4, OpStl: 4, OpLds: 4, OpSts: 4,
+		OpLda: 0, OpAddq: 0, OpBeq: 0,
+	}
+	for op, want := range tests {
+		if got := (Inst{Op: op}).MemBytes(); got != want {
+			t.Errorf("%s MemBytes = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Inst{Op: OpBr, Ra: Zero, Disp: 3}
+	if got := in.BranchTarget(0x1000); got != 0x1000+4+12 {
+		t.Errorf("BranchTarget = %#x, want %#x", got, 0x1000+4+12)
+	}
+	back := Inst{Op: OpBne, Ra: T0, Disp: -2}
+	if got := back.BranchTarget(0x1008); got != 0x1008+4-8 {
+		t.Errorf("backward BranchTarget = %#x, want %#x", got, 0x1008+4-8)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAddq, Ra: 1, Rb: 2, Rc: 3}, "addq r1, r2, r3"},
+		{Inst{Op: OpAddq, Ra: 1, UseLit: true, Lit: 8, Rc: 3}, "addq r1, #8, r3"},
+		{Inst{Op: OpLdq, Ra: 0, Rb: 30, Disp: -16}, "ldq r0, -16(r30)"},
+		{Inst{Op: OpAddt, Ra: 1, Rb: 2, Rc: 3}, "addt f1, f2, f3"},
+		{Inst{Op: OpBeq, Ra: 5, Disp: 7}, "beq r5, +7"},
+		{Inst{Op: OpRet, Ra: 31, Rb: 26}, "ret r31, (r26)"},
+		{Inst{Op: OpUnop}, "unop"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOpcodeSpaceFits(t *testing.T) {
+	if NumOps > 64 {
+		t.Fatalf("NumOps = %d exceeds the 6-bit opcode space", NumOps)
+	}
+}
+
+func TestExtendedOps(t *testing.T) {
+	// Operand metadata for the extended integer operations.
+	ld := Inst{Op: OpLdbu, Ra: T0, Rb: SP, Disp: 4}
+	if d, ok := ld.Dest(); !ok || d.Reg != T0 {
+		t.Error("ldbu dest wrong")
+	}
+	if srcs := ld.Sources(); len(srcs) != 1 || srcs[0].Reg != SP {
+		t.Errorf("ldbu sources = %v", srcs)
+	}
+	st := Inst{Op: OpStb, Ra: T0, Rb: SP, Disp: 4}
+	if _, ok := st.Dest(); ok {
+		t.Error("stb has a dest")
+	}
+	if srcs := st.Sources(); len(srcs) != 2 {
+		t.Errorf("stb sources = %v", srcs)
+	}
+	if (Inst{Op: OpLdbu}).MemBytes() != 1 {
+		t.Error("ldbu width wrong")
+	}
+	for _, op := range []Op{OpS4addq, OpS8addq, OpZapnot, OpExtbl} {
+		if op.Class() != ClassIntALU {
+			t.Errorf("%s class = %v", op, op.Class())
+		}
+	}
+	for _, op := range []Op{OpBlbc, OpBlbs} {
+		if op.Class() != ClassCondBr {
+			t.Errorf("%s class = %v", op, op.Class())
+		}
+	}
+}

@@ -1,0 +1,470 @@
+// Package macrobench provides synthetic stand-ins for the ten
+// SPEC2000 benchmarks of Table 3 (gzip, vpr, gcc, parser, eon, twolf,
+// mesa, art, equake, lucas). Real SPEC binaries and inputs are not
+// available here (see DESIGN.md, hardware substitution); each proxy
+// is a generated AXP-lite program whose instruction mix, working-set
+// size, branch entropy, code footprint, and store-load conflict
+// behavior follow the benchmark's published character, so that the
+// *relationships* the paper measures (who is cache-resident, who
+// misses the L2, who traps) are preserved even though absolute IPC is
+// a property of this model family.
+package macrobench
+
+import (
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+
+	// Iterations of the main loop (scales run length).
+	Iters int64
+	// BodyReps replicates the loop body to grow the code footprint
+	// (instruction-cache pressure; gcc, mesa).
+	BodyReps int
+
+	// Per-body work composition.
+	SeqLoads  int // sequential (strided) loads per body
+	RandLoads int // dependent, table-scattered loads per body
+	Stores    int // strided stores per body
+	ALU       int // integer ALU operations per body
+	ALUChains int // dependence chains the ALU ops are spread over
+	FPOps     int // floating-point operations per body
+	FPMulFrac int // of FPOps, every Nth is a multiply (0 = none)
+	EasyBrs   int // predictable branches per body
+	HardBrs   int // data-dependent (random) branches per body
+	Switches  int // indirect-jump dispatches per body (eon, gcc)
+	Conflicts int // store/load pairs in the same 32-byte granule (art)
+	RAWs      int // increment-and-reload sequences (store replay bait)
+	Unops     int // alignment no-ops per body (compiler padding)
+	ByteOps   int // byte-granular load/extract/mask work (gzip, parser)
+	// TightLoops emits small inner loops with trip counts that vary
+	// with the entropy cursor (2-5 iterations). The backward branch
+	// is in flight several times at once, so its prediction depends
+	// on up-to-date (speculatively updated) history.
+	TightLoops int
+
+	// Memory geometry.
+	DataKB  int // working set walked by sequential loads/stores
+	StrideB int // sequential stride in bytes
+	RandKB  int // region covered by scattered loads
+}
+
+// Profiles returns the ten Table 3 benchmark profiles in paper order.
+func Profiles() []Profile {
+	return []Profile{
+		// gzip: integer compression; windowed sequential access over a
+		// few hundred KB, moderate branch entropy, good ILP.
+		{Name: "gzip", Iters: 1200, BodyReps: 2,
+			SeqLoads: 6, RandLoads: 2, Stores: 3, ALU: 28, ALUChains: 6,
+			EasyBrs: 4, HardBrs: 2, RAWs: 2, Unops: 2, TightLoops: 2, ByteOps: 3, DataKB: 256, StrideB: 16, RandKB: 128},
+		// vpr: place-and-route; small working set, branchy with
+		// data-dependent decisions.
+		{Name: "vpr", Iters: 1600, BodyReps: 2,
+			SeqLoads: 4, RandLoads: 3, Stores: 2, ALU: 18, ALUChains: 4,
+			EasyBrs: 4, HardBrs: 3, RAWs: 1, Unops: 2, TightLoops: 2, DataKB: 48, StrideB: 16, RandKB: 32},
+		// gcc: compiler; large code footprint, indirect jumps,
+		// branchy, moderate data.
+		{Name: "gcc", Iters: 30, BodyReps: 260,
+			SeqLoads: 5, RandLoads: 3, Stores: 3, ALU: 16, ALUChains: 4,
+			EasyBrs: 5, HardBrs: 2, Switches: 1, RAWs: 1, Unops: 3, TightLoops: 1, DataKB: 192, StrideB: 16, RandKB: 96},
+		// parser: pointer chasing over dictionary structures; small
+		// working set, high branch entropy.
+		{Name: "parser", Iters: 1600, BodyReps: 2,
+			SeqLoads: 3, RandLoads: 4, Stores: 2, ALU: 16, ALUChains: 4,
+			EasyBrs: 3, HardBrs: 3, RAWs: 2, Unops: 2, TightLoops: 2, ByteOps: 2, DataKB: 64, StrideB: 16, RandKB: 48},
+		// eon: C++ ray tracer; virtual-call dispatch (indirect jumps),
+		// FP mix, cache-resident (the paper notes its unusually high
+		// way-misprediction rate).
+		{Name: "eon", Iters: 1200, BodyReps: 6,
+			SeqLoads: 4, RandLoads: 1, Stores: 2, ALU: 12, ALUChains: 4,
+			FPOps: 8, FPMulFrac: 2, EasyBrs: 3, HardBrs: 1, Switches: 2,
+			Unops: 2, TightLoops: 1, DataKB: 40, StrideB: 16, RandKB: 16},
+		// twolf: place-and-route; cache-resident, branchy.
+		{Name: "twolf", Iters: 1600, BodyReps: 2,
+			SeqLoads: 4, RandLoads: 2, Stores: 2, ALU: 18, ALUChains: 5,
+			EasyBrs: 4, HardBrs: 2, RAWs: 1, Unops: 2, TightLoops: 2, DataKB: 56, StrideB: 16, RandKB: 32},
+		// mesa: 3-D rendering; FP with a very large streaming working
+		// set (the paper reports a 43% L2 miss rate) but high ILP:
+		// a few misses per body amortized over much independent work.
+		{Name: "mesa", Iters: 700, BodyReps: 8,
+			SeqLoads: 8, RandLoads: 0, Stores: 4, ALU: 16, ALUChains: 8,
+			FPOps: 20, FPMulFrac: 3, EasyBrs: 2, HardBrs: 0,
+			DataKB: 6144, StrideB: 8, RandKB: 0},
+		// art: neural-network image recognition; streaming FP with
+		// pathological store-load conflict behavior (replay traps) and
+		// low ILP.
+		{Name: "art", Iters: 1200, BodyReps: 2,
+			SeqLoads: 5, RandLoads: 1, Stores: 4, ALU: 10, ALUChains: 2,
+			FPOps: 10, FPMulFrac: 2, EasyBrs: 2, HardBrs: 1, Conflicts: 6,
+			DataKB: 4096, StrideB: 16, RandKB: 64},
+		// equake: sparse-matrix earthquake simulation; scattered FP
+		// loads over a moderate working set.
+		{Name: "equake", Iters: 1200, BodyReps: 2,
+			SeqLoads: 3, RandLoads: 4, Stores: 2, ALU: 12, ALUChains: 3,
+			FPOps: 10, FPMulFrac: 2, EasyBrs: 2, HardBrs: 1, RAWs: 1,
+			TightLoops: 1, DataKB: 1024, StrideB: 16, RandKB: 768},
+		// lucas: FFT-based primality testing; long streaming FP with
+		// high ILP and almost no branches.
+		{Name: "lucas", Iters: 900, BodyReps: 3,
+			SeqLoads: 8, RandLoads: 0, Stores: 4, ALU: 12, ALUChains: 8,
+			FPOps: 20, FPMulFrac: 2, EasyBrs: 1, HardBrs: 0,
+			DataKB: 3072, StrideB: 8, RandKB: 0},
+	}
+}
+
+var (
+	once   sync.Once
+	suite  []core.Workload
+	byName map[string]core.Workload
+)
+
+func build() {
+	profiles := Profiles()
+	suite = make([]core.Workload, 0, len(profiles))
+	byName = make(map[string]core.Workload, len(profiles))
+	for _, p := range profiles {
+		w := Generate(p)
+		suite = append(suite, w)
+		byName[w.Name] = w
+	}
+}
+
+// Suite returns the ten macrobenchmarks in Table 3 order.
+func Suite() []core.Workload {
+	once.Do(build)
+	out := make([]core.Workload, len(suite))
+	copy(out, suite)
+	return out
+}
+
+// ByName returns one macrobenchmark.
+func ByName(name string) (core.Workload, bool) {
+	once.Do(build)
+	w, ok := byName[name]
+	return w, ok
+}
+
+// rng is a splitmix64 generator for deterministic program synthesis.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Generate builds the synthetic program for a profile.
+func Generate(p Profile) core.Workload {
+	r := &rng{s: hash(p.Name)}
+	b := asm.NewBuilder(p.Name)
+
+	// Data objects. The sequential region is the main working set;
+	// the random-index table scatters dependent loads across RandKB;
+	// the bit table drives data-dependent branches.
+	const idxEntries = 2048
+	const bitEntries = 4096
+	if p.DataKB > 0 {
+		b.Space("ws", uint64(p.DataKB)<<10, 64)
+	}
+	if p.RandLoads > 0 {
+		idx := make([]uint64, idxEntries)
+		span := uint64(p.RandKB) << 10
+		if span == 0 {
+			span = 4096
+		}
+		for i := range idx {
+			idx[i] = (r.next() % (span / 8)) * 8 // offset into ws
+		}
+		b.Quads("idx", idx...)
+	}
+	if p.HardBrs > 0 {
+		bits := make([]uint64, bitEntries)
+		for i := range bits {
+			bits[i] = r.next() & 1
+		}
+		b.Quads("bits", bits...)
+	}
+	if p.Switches > 0 {
+		b.Space("jtab", 8*8, 8)
+	}
+
+	// Register conventions inside the generated loop:
+	//   s0: sequential pointer  s1: ws base      s2: idx/bits cursor
+	//   s3: jump-table base     s4: ws remaining  s5: random-load ptr
+	//   t12: loop counter       a0..a5, t0..t11: work registers
+	b.Label("main")
+	if p.DataKB > 0 {
+		b.LoadAddr(isa.S1, "ws")
+		b.Op(isa.OpAddq, isa.S1, isa.Zero, isa.S0)
+		b.LoadImm(isa.S4, int64(p.DataKB)<<10)
+	}
+	if p.RandLoads > 0 || p.HardBrs > 0 {
+		b.LoadImm(isa.S2, 0)
+	}
+	if p.RandLoads > 0 {
+		b.LoadAddr(isa.S5, "idx")
+	}
+	if p.HardBrs > 0 {
+		b.LoadAddr(isa.A0, "bits")
+	}
+	if p.Switches > 0 {
+		b.LoadAddr(isa.S3, "jtab")
+		for i := 0; i < 8; i++ {
+			b.LoadAddr(isa.T0, caseName(p.Name, i))
+			b.Mem(isa.OpStq, isa.T0, int32(i*8), isa.S3)
+		}
+	}
+	b.LoadImm(isa.T12, p.Iters)
+	b.AlignOctaword()
+	b.Label("loop")
+	reps := p.BodyReps
+	if reps < 1 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		emitBody(b, p, r, rep)
+	}
+	// Advance the entropy cursor and wrap the working-set pointer.
+	if p.RandLoads > 0 || p.HardBrs > 0 {
+		b.OpI(isa.OpAddq, isa.S2, 1, isa.S2)
+		b.LoadImm(isa.AT, idxEntries-1)
+		b.Op(isa.OpAnd, isa.S2, isa.AT, isa.S2)
+	}
+	if p.DataKB > 0 {
+		stride := int64(p.StrideB * p.SeqLoads * reps)
+		b.LoadImm(isa.AT, stride)
+		b.Op(isa.OpSubq, isa.S4, isa.AT, isa.S4)
+		b.Br(isa.OpBgt, isa.S4, "nowrap")
+		b.Op(isa.OpAddq, isa.S1, isa.Zero, isa.S0)
+		b.LoadImm(isa.S4, int64(p.DataKB)<<10)
+		b.Label("nowrap")
+	}
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+
+	return core.Workload{
+		Name:     p.Name,
+		Prog:     b.MustAssemble(),
+		Category: "macro",
+	}
+}
+
+func caseName(bench string, i int) string {
+	return bench + "-vc" + string(rune('0'+i))
+}
+
+// emitBody emits one replica of the profile's loop body.
+func emitBody(b *asm.Builder, p Profile, r *rng, rep int) {
+	workReg := func(i int) isa.Reg { return isa.Reg(1 + i%8) } // t0..t7: ALU chains
+	loadReg := func(i int) isa.Reg {                           // t8..t10, a1..a5: load targets
+		regs := []isa.Reg{isa.T8, isa.T9, isa.T10, isa.A1, isa.A2, isa.A3, isa.A4, isa.A5}
+		return regs[i%len(regs)]
+	}
+	fpReg := func(i int) isa.Reg { return isa.Reg(1 + i%14) }
+
+	// Sequential loads walk the working set. Their destinations are
+	// disjoint from the ALU chains (compiled code overlaps loads with
+	// independent computation); one ALU op per body consumes a loaded
+	// value so the results are not dead.
+	for i := 0; i < p.SeqLoads; i++ {
+		b.Mem(isa.OpLdq, loadReg(i), int32(i*p.StrideB), isa.S0)
+	}
+	if p.SeqLoads > 0 {
+		b.LoadImm(isa.AT, int64(p.SeqLoads*p.StrideB))
+		b.Op(isa.OpAddq, isa.S0, isa.AT, isa.S0)
+	}
+
+	// Scattered dependent loads: index table -> working set. The
+	// slot advances with the per-iteration cursor so targets vary;
+	// indexing uses the scaled add the Alpha compilers emit.
+	for i := 0; i < p.RandLoads; i++ {
+		c := int32((rep*7 + i*13) % 1024)
+		b.Mem(isa.OpLda, isa.AT, c, isa.S2) // at = cursor + c
+		b.OpI(isa.OpSll, isa.AT, 54, isa.AT)
+		b.OpI(isa.OpSrl, isa.AT, 54, isa.AT) // at = at % 1024
+		b.Op(isa.OpS8addq, isa.AT, isa.S5, isa.T11)
+		b.Mem(isa.OpLdq, isa.T11, 0, isa.T11) // offset from the table
+		b.Op(isa.OpAddq, isa.T11, isa.S1, isa.T11)
+		b.Mem(isa.OpLdq, loadReg(i+3), 0, isa.T11)
+	}
+
+	// Byte-granular work: scan, extract, mask and store single bytes,
+	// the inner-loop character handling of compressors and parsers.
+	for i := 0; i < p.ByteOps; i++ {
+		off := int32(128 + ((rep*13 + i*29) % 256))
+		b.Mem(isa.OpLdbu, isa.T11, off, isa.S0)
+		b.OpI(isa.OpExtbl, isa.T11, 0, isa.T11)
+		b.Op(isa.OpXor, isa.T11, workReg(i), workReg(i))
+		b.OpI(isa.OpZapnot, workReg(i), 0x0f, workReg(i+1))
+		b.Mem(isa.OpStb, isa.T11, off+1, isa.S0)
+	}
+
+	// Integer work spread over dependence chains.
+	for i := 0; i < p.ALU; i++ {
+		chain := workReg(i % maxInt(p.ALUChains, 1))
+		switch r.next() % 5 {
+		case 0:
+			b.OpI(isa.OpAddq, chain, uint8(1+r.next()%7), chain)
+		case 1:
+			b.OpI(isa.OpXor, chain, uint8(r.next()%256), chain)
+		case 2:
+			b.OpI(isa.OpSubq, chain, 1, chain)
+		case 3:
+			// Consume a loaded value (use-after-load).
+			b.Op(isa.OpAddq, chain, loadReg(int(r.next()%8)), chain)
+		default:
+			b.Op(isa.OpAddq, chain, workReg(int(r.next()%8)), chain)
+		}
+	}
+
+	// Floating-point work.
+	for i := 0; i < p.FPOps; i++ {
+		fr := fpReg(i % maxInt(p.ALUChains, 1))
+		if p.FPMulFrac > 0 && i%p.FPMulFrac == 0 {
+			b.Op(isa.OpMult, fr, fpReg(i+1), fr)
+		} else {
+			b.Op(isa.OpAddt, fr, fpReg(i+2), fr)
+		}
+	}
+
+	// Stores back into the working set.
+	for i := 0; i < p.Stores; i++ {
+		b.Mem(isa.OpStq, loadReg(i), int32(64+i*p.StrideB), isa.S0)
+	}
+
+	// Tight inner loops: trip count = 2 + (cursor+k) mod 4.
+	for i := 0; i < p.TightLoops; i++ {
+		head := label(p.Name, "tight", rep, i)
+		b.Mem(isa.OpLda, isa.T11, int32(rep*5+i*3), isa.S2)
+		b.OpI(isa.OpAnd, isa.T11, 3, isa.T11)
+		b.OpI(isa.OpAddq, isa.T11, 2, isa.T11)
+		b.AlignOctaword()
+		b.Label(head)
+		b.OpI(isa.OpAddq, workReg(i), 1, workReg(i))
+		b.OpI(isa.OpXor, workReg(i+1), 5, workReg(i+1))
+		b.OpI(isa.OpSubq, isa.T11, 1, isa.T11)
+		b.Br(isa.OpBne, isa.T11, head)
+	}
+
+	// Alignment padding, as the Alpha compilers emit.
+	if p.Unops > 0 {
+		b.Unop(p.Unops)
+	}
+
+	// Increment-and-reload: the reload is younger than a store whose
+	// data depends on a load-add chain, so without the store-wait
+	// predictor the reload issues early and replays when the store
+	// resolves.
+	for i := 0; i < p.RAWs; i++ {
+		off := int32(512 + i*8)
+		b.Mem(isa.OpLdq, isa.T11, off, isa.S0)
+		b.OpI(isa.OpAddq, isa.T11, 1, isa.T11)
+		b.Mem(isa.OpStq, isa.T11, off, isa.S0)
+		b.Mem(isa.OpLdq, loadReg(i+5), off, isa.S0)
+	}
+
+	// Store-load conflict pairs within one 32-byte granule but at
+	// different quadwords: exact-address comparison (sim-alpha) sees
+	// no dependence; coarse-granularity hardware replays (art).
+	for i := 0; i < p.Conflicts; i++ {
+		b.Mem(isa.OpStq, workReg(i), int32(i*32), isa.S1)
+		b.Mem(isa.OpLdq, workReg(i+4), int32(i*32+8), isa.S1)
+	}
+
+	// Predictable branches: half always-taken (exercising the line
+	// predictor and slot adder), half fall-through.
+	for i := 0; i < p.EasyBrs; i++ {
+		lbl := label(p.Name, "easy", rep, i)
+		if i%2 == 0 {
+			b.Br(isa.OpBr, isa.Zero, lbl)
+			b.Unop(1)
+		} else {
+			b.Op(isa.OpCmpeq, isa.T12, isa.Zero, isa.AT)
+			b.Br(isa.OpBne, isa.AT, lbl)
+			b.OpI(isa.OpAddq, workReg(i), 1, workReg(i))
+		}
+		b.Label(lbl)
+	}
+
+	// Hard branches: direction from the random bit table.
+	for i := 0; i < p.HardBrs; i++ {
+		lbl := label(p.Name, "hard", rep, i)
+		c := int32((rep*11 + i*17) % 4096)
+		b.Mem(isa.OpLda, isa.AT, c, isa.S2)
+		b.OpI(isa.OpSll, isa.AT, 52, isa.AT)
+		b.OpI(isa.OpSrl, isa.AT, 49, isa.AT) // (at % 4096) * 8
+		b.Op(isa.OpAddq, isa.A0, isa.AT, isa.AT)
+		b.Mem(isa.OpLdq, isa.AT, 0, isa.AT)
+		b.Br(isa.OpBeq, isa.AT, lbl)
+		b.OpI(isa.OpAddq, workReg(i+2), 1, workReg(i+2))
+		b.Label(lbl)
+	}
+
+	// Indirect dispatch (virtual calls / switch statements): the
+	// target method is selected by the entropy cursor plus the site,
+	// called through jsr and returned from with ret, as compiled C++
+	// virtual dispatch is.
+	for i := 0; i < p.Switches; i++ {
+		vret := label(p.Name, "vret", rep, i)
+		b.Mem(isa.OpLda, isa.AT, int32(rep*3+i), isa.S2)
+		b.OpI(isa.OpAnd, isa.AT, 7, isa.AT)
+		b.OpI(isa.OpSll, isa.AT, 3, isa.AT)
+		b.Op(isa.OpAddq, isa.S3, isa.AT, isa.AT)
+		b.Mem(isa.OpLdq, isa.AT, 0, isa.AT)
+		b.Jump(isa.OpJsr, isa.RA, isa.AT)
+		b.Br(isa.OpBr, isa.Zero, vret)
+		if rep == 0 && i == 0 {
+			// The eight method bodies are emitted once per program.
+			for c := 0; c < 8; c++ {
+				b.Label(caseName(p.Name, c))
+				b.OpI(isa.OpAddq, workReg(c), uint8(c+1), workReg(c))
+				b.Jump(isa.OpRet, isa.Zero, isa.RA)
+			}
+		}
+		b.Label(vret)
+	}
+}
+
+// label builds a unique local label.
+func label(bench, kind string, rep, i int) string {
+	return bench + "-" + kind + "-" + itoa(rep) + "-" + itoa(i)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for v > 0 {
+		n--
+		buf[n] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[n:])
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,504 @@
+// Package microbench implements the paper's 21-microbenchmark
+// validation suite (Section 3) plus the three memory-calibration
+// workloads of Section 4.2 (M-M, STREAM, lmbench), all as AXP-lite
+// assembly programs.
+//
+// The suite is split into control (C-*), execute (E-*) and memory
+// (M-*) benchmarks, each isolating one part of the 21264
+// microarchitecture. All benchmarks except the memory ones are
+// instruction-cache, data-cache and TLB resident.
+package microbench
+
+import (
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Iteration scaling. The paper runs each kernel long enough for DCPI
+// sampling; we run enough dynamic instructions for the pipelines and
+// predictors to reach steady state while keeping full-suite runs fast.
+const (
+	loopIters   = 2000 // control/execute outer iterations
+	memIters    = 1500 // memory benchmark iterations
+	recurseOut  = 60   // C-R outer loop iterations
+	recurseDeep = 1000 // C-R recursion depth (paper: 1,000-level)
+)
+
+var (
+	once   sync.Once
+	suite  []core.Workload
+	byName map[string]core.Workload
+)
+
+func build() {
+	suite = []core.Workload{
+		cc("C-Ca", 0), cc("C-Cb", 2),
+		cr(),
+		cs("C-S1", 1), cs("C-S2", 2), cs("C-S3", 3),
+		co(),
+		ei(), ef(),
+		ed("E-D1", 1), ed("E-D2", 2), ed("E-D3", 3),
+		ed("E-D4", 4), ed("E-D5", 5), ed("E-D6", 6),
+		edm1(),
+		mi(), md(), ml2(), mm(), mip(),
+	}
+	byName = make(map[string]core.Workload, len(suite)+2)
+	for _, w := range suite {
+		byName[w.Name] = w
+	}
+	for _, w := range []core.Workload{stream(), lmbench()} {
+		byName[w.Name] = w
+	}
+}
+
+// Suite returns the 21 microbenchmarks in the paper's Table 2 order.
+func Suite() []core.Workload {
+	once.Do(build)
+	out := make([]core.Workload, len(suite))
+	copy(out, suite)
+	return out
+}
+
+// ByName returns one workload from the suite (including "stream" and
+// "lmbench").
+func ByName(name string) (core.Workload, bool) {
+	once.Do(build)
+	w, ok := byName[name]
+	return w, ok
+}
+
+// Calibration returns the Section 4.2 memory-calibration set:
+// M-M, STREAM and lmbench.
+func Calibration() []core.Workload {
+	once.Do(build)
+	return []core.Workload{byName["M-M"], byName["stream"], byName["lmbench"]}
+}
+
+// countedLoop wraps body in the standard counted loop with the
+// counter in T12 and the loop head octaword-aligned.
+func countedLoop(name string, iters int64, category string,
+	body func(b *asm.Builder)) core.Workload {
+	b := asm.NewBuilder(name)
+	b.Label("main")
+	b.LoadImm(isa.T12, iters)
+	b.AlignOctaword()
+	b.Label("loop")
+	body(b)
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: name, Prog: b.MustAssemble(), Category: category}
+}
+
+// cc builds the control-conditional benchmark: an if-then-else inside
+// a loop that alternates between taking and not taking the branch.
+// pad controls the unop padding between the branches, reproducing the
+// two compiler variants (C-Ca / C-Cb) whose different layouts train
+// the line predictor with different branches.
+func cc(name string, pad int) core.Workload {
+	b := asm.NewBuilder(name)
+	b.Label("main")
+	b.LoadImm(isa.T12, loopIters*4)
+	b.AlignOctaword()
+	b.Label("loop")
+	b.OpI(isa.OpAnd, isa.T12, 1, isa.T0)
+	b.Br(isa.OpBne, isa.T0, "else")
+	b.Unop(pad)
+	b.OpI(isa.OpAddq, isa.T1, 1, isa.T1)
+	b.Br(isa.OpBr, isa.Zero, "join")
+	b.Label("else")
+	b.Unop(pad)
+	b.OpI(isa.OpAddq, isa.T2, 1, isa.T2)
+	b.Label("join")
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: name, Prog: b.MustAssemble(), Category: "control"}
+}
+
+// cr builds control-recursive: a 1,000-level recursive call inside an
+// outer loop, stressing bsr/ret and the return address stack.
+func cr() core.Workload {
+	b := asm.NewBuilder("C-R")
+	b.Label("main")
+	b.LoadImm(isa.T12, recurseOut)
+	b.Label("outer")
+	b.LoadImm(isa.A0, recurseDeep)
+	b.Br(isa.OpBsr, isa.RA, "rec")
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "outer")
+	b.Halt()
+	b.Label("rec")
+	b.OpI(isa.OpSubq, isa.SP, 16, isa.SP)
+	b.Mem(isa.OpStq, isa.RA, 0, isa.SP)
+	b.OpI(isa.OpSubq, isa.A0, 1, isa.A0)
+	b.Br(isa.OpBeq, isa.A0, "base")
+	b.Br(isa.OpBsr, isa.RA, "rec")
+	b.Label("base")
+	b.Mem(isa.OpLdq, isa.RA, 0, isa.SP)
+	b.OpI(isa.OpAddq, isa.SP, 16, isa.SP)
+	b.Jump(isa.OpRet, isa.Zero, isa.RA)
+	return core.Workload{Name: "C-R", Prog: b.MustAssemble(), Category: "control"}
+}
+
+// cs builds control-switch-n: a 10-way indirect jump (case statement)
+// where each case is taken n consecutive iterations before moving on.
+func cs(name string, n int64) core.Workload {
+	b := asm.NewBuilder(name)
+	b.Space("table", 10*8, 8)
+	b.Label("main")
+	// Fill the jump table with the case addresses.
+	b.LoadAddr(isa.S5, "table")
+	for i := 0; i < 10; i++ {
+		b.LoadAddr(isa.T0, caseLabel(name, i))
+		b.Mem(isa.OpStq, isa.T0, int32(i*8), isa.S5)
+	}
+	b.LoadImm(isa.T12, loopIters*2)
+	b.LoadImm(isa.S0, 0) // consecutive-use counter
+	b.LoadImm(isa.S1, 0) // case index
+	b.LoadImm(isa.S2, n) // repeats per case
+	b.AlignOctaword()
+	b.Label("loop")
+	// t0 = table[s1]
+	b.OpI(isa.OpSll, isa.S1, 3, isa.T0)
+	b.Op(isa.OpAddq, isa.S5, isa.T0, isa.T0)
+	b.Mem(isa.OpLdq, isa.T0, 0, isa.T0)
+	b.Jump(isa.OpJmp, isa.Zero, isa.T0)
+	for i := 0; i < 10; i++ {
+		b.Label(caseLabel(name, i))
+		b.OpI(isa.OpAddq, isa.T1, uint8(i+1), isa.T1)
+		b.Br(isa.OpBr, isa.Zero, "advance")
+	}
+	b.Label("advance")
+	// Branch-free case advance, as the Alpha compilers emit with
+	// conditional moves: s0++; if s0==n {s0=0; s1=(s1+1)%10}.
+	b.OpI(isa.OpAddq, isa.S0, 1, isa.S0)
+	b.Op(isa.OpCmpeq, isa.S0, isa.S2, isa.T0)
+	b.Op(isa.OpCmovne, isa.T0, isa.Zero, isa.S0)
+	b.Op(isa.OpAddq, isa.S1, isa.T0, isa.S1)
+	b.OpI(isa.OpCmpeq, isa.S1, 10, isa.T1)
+	b.Op(isa.OpCmovne, isa.T1, isa.Zero, isa.S1)
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: name, Prog: b.MustAssemble(), Category: "control"}
+}
+
+func caseLabel(bench string, i int) string {
+	return bench + "-case" + string(rune('0'+i))
+}
+
+// co builds complex-control: a loop over an if-then-else whose if
+// clause runs a C-S2-style switch step and whose else clause runs a
+// C-S3-style step.
+func co() core.Workload {
+	b := asm.NewBuilder("C-O")
+	b.Space("table", 10*8, 8)
+	b.Label("main")
+	b.LoadAddr(isa.S5, "table")
+	for i := 0; i < 10; i++ {
+		b.LoadAddr(isa.T0, caseLabel("C-O", i))
+		b.Mem(isa.OpStq, isa.T0, int32(i*8), isa.S5)
+	}
+	b.LoadImm(isa.T12, loopIters*2)
+	b.LoadImm(isa.S0, 0) // counter for branch 2-way alternation
+	b.LoadImm(isa.S1, 0) // switch index A (period 2)
+	b.LoadImm(isa.S2, 0) // switch index B (period 3)
+	b.LoadImm(isa.S3, 0) // consecutive counters packed: A in S3, B in S4
+	b.LoadImm(isa.S4, 0)
+	b.AlignOctaword()
+	b.Label("loop")
+	b.OpI(isa.OpAnd, isa.T12, 1, isa.T0)
+	b.Br(isa.OpBne, isa.T0, "elseblk")
+	// if-clause: C-S2 step on index S1.
+	b.OpI(isa.OpSll, isa.S1, 3, isa.T0)
+	b.Op(isa.OpAddq, isa.S5, isa.T0, isa.T0)
+	b.Mem(isa.OpLdq, isa.T0, 0, isa.T0)
+	b.Jump(isa.OpJmp, isa.Zero, isa.T0)
+	b.Label("elseblk")
+	// else-clause: C-S3 step on index S2.
+	b.OpI(isa.OpSll, isa.S2, 3, isa.T0)
+	b.Op(isa.OpAddq, isa.S5, isa.T0, isa.T0)
+	b.Mem(isa.OpLdq, isa.T0, 0, isa.T0)
+	b.Jump(isa.OpJmp, isa.Zero, isa.T0)
+	for i := 0; i < 10; i++ {
+		b.Label(caseLabel("C-O", i))
+		b.OpI(isa.OpAddq, isa.T1, uint8(i+1), isa.T1)
+		b.Br(isa.OpBr, isa.Zero, "advance")
+	}
+	b.Label("advance")
+	// Branch-free advance of the A index every 2 iterations and the
+	// B index every 3, via conditional moves.
+	b.OpI(isa.OpAddq, isa.S3, 1, isa.S3)
+	b.OpI(isa.OpCmpeq, isa.S3, 2, isa.T0)
+	b.Op(isa.OpCmovne, isa.T0, isa.Zero, isa.S3)
+	b.Op(isa.OpAddq, isa.S1, isa.T0, isa.S1)
+	b.OpI(isa.OpCmpeq, isa.S1, 10, isa.T1)
+	b.Op(isa.OpCmovne, isa.T1, isa.Zero, isa.S1)
+	b.OpI(isa.OpAddq, isa.S4, 1, isa.S4)
+	b.OpI(isa.OpCmpeq, isa.S4, 3, isa.T0)
+	b.Op(isa.OpCmovne, isa.T0, isa.Zero, isa.S4)
+	b.Op(isa.OpAddq, isa.S2, isa.T0, isa.S2)
+	b.OpI(isa.OpCmpeq, isa.S2, 10, isa.T1)
+	b.Op(isa.OpCmovne, isa.T1, isa.Zero, isa.S2)
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: "C-O", Prog: b.MustAssemble(), Category: "control"}
+}
+
+// ei builds execute-independent: the loop adds the index variable to
+// eight independent register-allocated integers twenty times each.
+func ei() core.Workload {
+	return countedLoop("E-I", loopIters/2, "execute", func(b *asm.Builder) {
+		for k := 0; k < 20; k++ {
+			for r := isa.Reg(1); r <= 8; r++ {
+				b.Op(isa.OpAddq, r, isa.T12, r)
+			}
+		}
+	})
+}
+
+// ef builds execute-float-independent: E-I on floating-point values.
+func ef() core.Workload {
+	return countedLoop("E-F", loopIters/8, "execute", func(b *asm.Builder) {
+		for k := 0; k < 20; k++ {
+			for r := isa.Reg(1); r <= 8; r++ {
+				b.Op(isa.OpAddt, r, 9, r)
+			}
+		}
+	})
+}
+
+// ed builds execute-dependent-n: n interleaved dependent chains of
+// integer additions; each instruction depends on the one n earlier.
+func ed(name string, n int) core.Workload {
+	return countedLoop(name, loopIters, "execute", func(b *asm.Builder) {
+		for k := 0; k < 48; k++ {
+			r := isa.Reg(1 + k%n)
+			b.OpI(isa.OpAddq, r, 1, r)
+		}
+	})
+}
+
+// edm1 builds E-DM1: E-D1 with multiply instructions.
+func edm1() core.Workload {
+	return countedLoop("E-DM1", loopIters/4, "execute", func(b *asm.Builder) {
+		for k := 0; k < 24; k++ {
+			b.OpI(isa.OpMulq, isa.T0, 1, isa.T0)
+		}
+	})
+}
+
+// mi builds memory-independent: independent L1-resident loads whose
+// results accumulate into a register, testing L1 bandwidth.
+func mi() core.Workload {
+	b := asm.NewBuilder("M-I")
+	b.Space("arr", 4096, 64)
+	b.Label("main")
+	b.LoadAddr(isa.S5, "arr")
+	b.LoadImm(isa.T12, memIters)
+	b.AlignOctaword()
+	b.Label("loop")
+	for k := 0; k < 8; k++ {
+		b.Mem(isa.OpLdq, isa.Reg(1+k), int32(k*8), isa.S5)
+	}
+	for k := 0; k < 8; k++ {
+		b.Op(isa.OpAddq, isa.S0, isa.Reg(1+k), isa.S0)
+	}
+	b.Op(isa.OpAddq, isa.S0, isa.T12, isa.S0)
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: "M-I", Prog: b.MustAssemble(), Category: "memory"}
+}
+
+// md builds memory-dependent: a pointer chase through an L1-resident
+// linked list, measuring L1 load-to-use latency, with independent
+// work alongside as in the paper's kernel.
+func md() core.Workload {
+	b := asm.NewBuilder("M-D")
+	const nodes, stride = 512, 64 // 32 KB: L1-resident
+	next := make([]uint64, nodes*stride/8)
+	for i := 0; i < nodes; i++ {
+		tgt := uint64((i+1)%nodes) * uint64(stride)
+		next[i*stride/8] = asm.DataBase + tgt
+	}
+	b.Quads("list", next...)
+	b.Label("main")
+	b.LoadAddr(isa.S0, "list")
+	b.LoadImm(isa.T12, 50*nodes) // many passes: warmup is negligible
+	b.AlignOctaword()
+	b.Label("loop")
+	b.Mem(isa.OpLdq, isa.S0, 0, isa.S0)
+	b.OpI(isa.OpAddq, isa.T0, 1, isa.T0)
+	b.OpI(isa.OpAddq, isa.T1, 1, isa.T1)
+	b.OpI(isa.OpAddq, isa.T2, 1, isa.T2)
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: "M-D", Prog: b.MustAssemble(), Category: "memory"}
+}
+
+// ml2 builds memory-L2: like M-D, a dependent pointer chase, but
+// with a footprint that misses the L1 on every reference while
+// staying resident in the L2, measuring L2 load-to-use latency.
+func ml2() core.Workload {
+	b := asm.NewBuilder("M-L2")
+	const nodes, stride = 4096, 64 // 256 KB: 4x the L1, well within L2
+	next := make([]uint64, nodes*stride/8)
+	for i := 0; i < nodes; i++ {
+		next[i*stride/8] = asm.DataBase + uint64((i+1)%nodes)*uint64(stride)
+	}
+	b.Quads("list", next...)
+	b.Label("main")
+	b.LoadAddr(isa.S0, "list")
+	b.LoadImm(isa.T12, 20*nodes) // many passes: steady-state L2 hits
+	b.AlignOctaword()
+	b.Label("loop")
+	b.Mem(isa.OpLdq, isa.S0, 0, isa.S0)
+	b.OpI(isa.OpAddq, isa.T0, 1, isa.T0)
+	b.OpI(isa.OpAddq, isa.T1, 1, isa.T1)
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: "M-L2", Prog: b.MustAssemble(), Category: "memory"}
+}
+
+// mm builds memory-memory: a dependent pointer chase that misses both
+// cache levels on every hop, measuring back-to-back main-memory
+// latency. The chase is longer than the run, so every hop is a cold
+// (compulsory) miss regardless of the machine's page-mapping policy,
+// while the page working set grows slowly enough that TLB misses are
+// amortized over ~128 hops.
+func mm() core.Workload {
+	b := asm.NewBuilder("M-M")
+	const nodes = 8192
+	const stride = 64
+	next := make([]uint64, nodes*stride/8)
+	for i := 0; i < nodes; i++ {
+		next[i*stride/8] = asm.DataBase + uint64((i+1)%nodes)*uint64(stride)
+	}
+	b.Quads("list", next...)
+	b.Label("main")
+	b.LoadAddr(isa.S0, "list")
+	b.LoadImm(isa.T12, 6000) // fewer hops than nodes: all cold misses
+	b.AlignOctaword()
+	b.Label("loop")
+	b.Mem(isa.OpLdq, isa.S0, 0, isa.S0)
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: "M-M", Prog: b.MustAssemble(), Category: "memory"}
+}
+
+// mip builds memory-instruction-prefetch: an enormous straight-line
+// loop body that flushes the L1 I-cache every iteration, testing
+// instruction prefetch efficacy.
+func mip() core.Workload {
+	b := asm.NewBuilder("M-IP")
+	b.Label("main")
+	b.LoadImm(isa.T12, 12)
+	b.AlignOctaword()
+	b.Label("loop")
+	// 24K instructions = 96 KB of code: 1.5x the I-cache.
+	for k := 0; k < 24*1024; k++ {
+		r := isa.Reg(1 + k%8)
+		b.Op(isa.OpAddq, r, isa.T12, r)
+	}
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+	return core.Workload{Name: "M-IP", Prog: b.MustAssemble(), Category: "memory"}
+}
+
+// stream builds the STREAM bandwidth kernels (copy, scale, add,
+// triad) over arrays larger than the L2, sampled one load per cache
+// line as a bandwidth (not ALU) test.
+func stream() core.Workload {
+	b := asm.NewBuilder("stream")
+	const elems = 96 << 10 // 96K doubles = 768 KB per array
+	b.Space("sa", elems*8, 64)
+	b.Space("sb", elems*8, 64)
+	b.Space("sc", elems*8, 64)
+	kernel := func(name string, body func()) {
+		b.Label(name)
+		b.LoadAddr(isa.S0, "sa")
+		b.LoadAddr(isa.S1, "sb")
+		b.LoadAddr(isa.S2, "sc")
+		b.LoadImm(isa.S3, elems/8) // one access per 64-byte line
+		b.Label(name + "-loop")
+		body()
+		b.OpI(isa.OpAddq, isa.S0, 64, isa.S0)
+		b.OpI(isa.OpAddq, isa.S1, 64, isa.S1)
+		b.OpI(isa.OpAddq, isa.S2, 64, isa.S2)
+		b.OpI(isa.OpSubq, isa.S3, 1, isa.S3)
+		b.Br(isa.OpBne, isa.S3, name+"-loop")
+	}
+	b.Label("main")
+	kernel("copy", func() { // b[i] = a[i]
+		b.Mem(isa.OpLdt, 1, 0, isa.S0)
+		b.Mem(isa.OpStt, 1, 0, isa.S1)
+	})
+	kernel("scale", func() { // b[i] = q * c[i]
+		b.Mem(isa.OpLdt, 1, 0, isa.S2)
+		b.Op(isa.OpMult, 1, 10, 2)
+		b.Mem(isa.OpStt, 2, 0, isa.S1)
+	})
+	kernel("add", func() { // c[i] = a[i] + b[i]
+		b.Mem(isa.OpLdt, 1, 0, isa.S0)
+		b.Mem(isa.OpLdt, 2, 0, isa.S1)
+		b.Op(isa.OpAddt, 1, 2, 3)
+		b.Mem(isa.OpStt, 3, 0, isa.S2)
+	})
+	kernel("triad", func() { // a[i] = b[i] + q * c[i]
+		b.Mem(isa.OpLdt, 1, 0, isa.S1)
+		b.Mem(isa.OpLdt, 2, 0, isa.S2)
+		b.Op(isa.OpMult, 2, 10, 3)
+		b.Op(isa.OpAddt, 1, 3, 4)
+		b.Mem(isa.OpStt, 4, 0, isa.S0)
+	})
+	b.Halt()
+	return core.Workload{Name: "stream", Prog: b.MustAssemble(), Category: "calibration"}
+}
+
+// lmbench builds the lmbench-style latency probe: dependent pointer
+// chases sized to the L1, the L2, and main memory in turn.
+func lmbench() core.Workload {
+	b := asm.NewBuilder("lmbench")
+	levels := []struct {
+		label  string
+		nodes  int
+		stride int
+		iters  int64
+	}{
+		{"lat1", 256, 64, 6000},   // 16 KB: L1
+		{"lat2", 4096, 64, 3000},  // 256 KB: L2
+		{"lat3", 4096, 128, 3000}, // cold chase: main memory
+	}
+	for _, lv := range levels {
+		next := make([]uint64, lv.nodes*lv.stride/8)
+		for i := 0; i < lv.nodes; i++ {
+			tgt := uint64((i+1)%lv.nodes) * uint64(lv.stride)
+			next[i*lv.stride/8] = tgt // offset; rebased at runtime
+		}
+		b.Quads(lv.label, next...)
+	}
+	b.Label("main")
+	for _, lv := range levels {
+		// Rebase offsets into absolute addresses.
+		b.LoadAddr(isa.S0, lv.label)
+		b.LoadImm(isa.T12, lv.iters)
+		b.Label(lv.label + "-loop")
+		b.Mem(isa.OpLdq, isa.T0, 0, isa.S0)
+		b.LoadAddr(isa.T1, lv.label)
+		b.Op(isa.OpAddq, isa.T0, isa.T1, isa.S0)
+		b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+		b.Br(isa.OpBne, isa.T12, lv.label+"-loop")
+	}
+	b.Halt()
+	return core.Workload{Name: "lmbench", Prog: b.MustAssemble(), Category: "calibration"}
+}

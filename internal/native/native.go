@@ -1,0 +1,63 @@
+// Package native provides the reference machine that stands in for
+// the Compaq DS-10L workstation in every experiment (see DESIGN.md,
+// hardware substitution). It is the 21264 model at full fidelity plus
+// the board- and OS-level behaviors the paper says sim-alpha does not
+// capture (page coloring, memory-controller tuning, PAL-code TLB
+// misses, coarse trap detection, the shared MAF), measured through
+// the DCPI sampling-profiler emulation rather than read exactly.
+package native
+
+import (
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/dcpi"
+)
+
+// Machine is the simulated DS-10L. It implements core.Machine.
+type Machine struct {
+	inner *alpha.Machine
+	prof  dcpi.Config
+}
+
+// New returns the reference machine with the paper's DCPI operating
+// point (40K-cycle sampling).
+func New() *Machine {
+	return &Machine{
+		inner: alpha.New(alpha.NativeConfig()),
+		prof:  dcpi.DefaultConfig(),
+	}
+}
+
+// NewWithProfiler returns a reference machine measured at a custom
+// sampling configuration (for the sampling-interval trade-off study).
+func NewWithProfiler(prof dcpi.Config) *Machine {
+	return &Machine{inner: alpha.New(alpha.NativeConfig()), prof: prof}
+}
+
+// Name implements core.Machine.
+func (m *Machine) Name() string { return "native-ds10l" }
+
+// Run implements core.Machine: it executes the workload on the
+// full-fidelity model and passes the result through the emulated
+// profiler, as all native measurements in the paper go through DCPI.
+func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
+	res, err := m.inner.Run(w)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	out := dcpi.Measure(m.prof, res)
+	out.Machine = m.Name()
+	return out, nil
+}
+
+// RunExact bypasses the profiler, returning true cycle counts; used
+// by tests that need to separate model differences from measurement
+// noise.
+func (m *Machine) RunExact(w core.Workload) (core.RunResult, error) {
+	res, err := m.inner.Run(w)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	res.Machine = m.Name()
+	return res, nil
+}

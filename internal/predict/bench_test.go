@@ -1,0 +1,30 @@
+package predict
+
+import "testing"
+
+func BenchmarkTournamentPredict(b *testing.B) {
+	tr := NewTournament(DefaultTournamentConfig())
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%64) * 4
+		taken := i%3 != 0
+		tr.Predict(pc, true)
+		tr.ShiftSpec(taken)
+		tr.Resolve(pc, taken)
+	}
+}
+
+func BenchmarkLinePredict(b *testing.B) {
+	l := NewLine(4096)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%1024) * 16
+		l.Predict(pc)
+		l.Train(pc, pc+16)
+	}
+}
+
+func BenchmarkStoreWait(b *testing.B) {
+	s := NewStoreWait()
+	for i := 0; i < b.N; i++ {
+		s.ShouldWait(uint64(i%512)*4, uint64(i))
+	}
+}

@@ -1,0 +1,83 @@
+// Package stats implements the aggregation rules the paper uses to
+// report simulator error: percent difference in CPI, arithmetic means
+// of absolute errors, harmonic-mean IPC, and standard deviations of
+// per-benchmark performance changes.
+package stats
+
+import "math"
+
+// PctErrorCPI returns the paper's error metric for a simulator
+// against a reference: the percent difference in CPI relative to the
+// reference. Negative means the simulator is slower (underestimates
+// performance); positive means it overestimates.
+func PctErrorCPI(refIPC, simIPC float64) float64 {
+	if refIPC == 0 || simIPC == 0 {
+		return 0
+	}
+	refCPI := 1 / refIPC
+	simCPI := 1 / simIPC
+	return (refCPI - simCPI) / refCPI * 100
+}
+
+// PctChange returns the percent change of v relative to base.
+func PctChange(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base * 100
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanAbs returns the arithmetic mean of |xs|, the paper's aggregate
+// error statistic.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs, the paper's aggregate
+// IPC statistic. Non-positive values are rejected by returning 0.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPctErrorCPISigns(t *testing.T) {
+	// Simulator slower than reference: negative error.
+	if e := PctErrorCPI(2.0, 1.0); e >= 0 {
+		t.Errorf("slower simulator error = %v, want negative", e)
+	}
+	// Simulator faster: positive.
+	if e := PctErrorCPI(1.0, 2.0); e <= 0 {
+		t.Errorf("faster simulator error = %v, want positive", e)
+	}
+	// Exact: zero.
+	if e := PctErrorCPI(1.5, 1.5); !approx(e, 0) {
+		t.Errorf("exact error = %v", e)
+	}
+}
+
+func TestPctErrorCPIPaperValues(t *testing.T) {
+	// Table 2 spot checks (within rounding of the published numbers).
+	cases := []struct {
+		ref, sim, want, tol float64
+	}{
+		{1.87, 0.52, -260.4, 1.5}, // C-Cb, sim-initial
+		{2.65, 0.89, -198.4, 1.5}, // C-R, sim-initial
+		{0.56, 0.81, 31.2, 1.0},   // C-S1, sim-initial
+		{0.15, 1.04, 85.7, 1.0},   // E-DM1, sim-initial
+		{2.72, 3.07, 11.5, 1.0},   // E-D3, sim-alpha
+	}
+	for _, c := range cases {
+		got := PctErrorCPI(c.ref, c.sim)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("PctErrorCPI(%v, %v) = %.1f, want %.1f", c.ref, c.sim, got, c.want)
+		}
+	}
+}
+
+func TestPctErrorCPIZeroGuard(t *testing.T) {
+	if PctErrorCPI(0, 1) != 0 || PctErrorCPI(1, 0) != 0 {
+		t.Error("zero inputs not guarded")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !approx(Mean(xs), 2.5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !approx(MeanAbs([]float64{-1, 2, -3}), 2) {
+		t.Errorf("MeanAbs = %v", MeanAbs([]float64{-1, 2, -3}))
+	}
+	if Mean(nil) != 0 || MeanAbs(nil) != 0 || HarmonicMean(nil) != 0 {
+		t.Error("empty inputs not zero")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if !approx(HarmonicMean([]float64{1, 1, 1}), 1) {
+		t.Error("constant harmonic mean wrong")
+	}
+	if !approx(HarmonicMean([]float64{2, 2}), 2) {
+		t.Error("constant harmonic mean wrong")
+	}
+	got := HarmonicMean([]float64{1, 2})
+	if !approx(got, 4.0/3.0) {
+		t.Errorf("HarmonicMean(1,2) = %v", got)
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("non-positive input not rejected")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev not 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !approx(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	if !approx(PctChange(2, 3), 50) {
+		t.Error("PctChange(2,3) != 50")
+	}
+	if !approx(PctChange(4, 3), -25) {
+		t.Error("PctChange(4,3) != -25")
+	}
+	if PctChange(0, 3) != 0 {
+		t.Error("zero base not guarded")
+	}
+}
+
+// Property: harmonic mean never exceeds arithmetic mean for positive
+// inputs, and both lie within [min, max].
+func TestQuickMeanInequality(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		am, hm := Mean(xs), HarmonicMean(xs)
+		return hm <= am+1e-9 && am <= hi+1e-9 && hm >= lo-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

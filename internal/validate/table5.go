@@ -1,0 +1,151 @@
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/macrobench"
+	"repro/internal/ruu"
+	"repro/internal/stats"
+)
+
+// Optimization names, in the paper's row order.
+var Table5Optimizations = []string{
+	"3 to 1-cycle L1 D$",
+	"64KB to 128KB L1 D$",
+	"40 to 80 physical regs",
+}
+
+// Table5Cell is one (optimization, configuration) improvement.
+type Table5Cell struct {
+	Config      string
+	Improvement float64 // % improvement in harmonic-mean IPC
+}
+
+// Table5Result is the stability matrix: improvements of each
+// optimization across the simulator configurations.
+type Table5Result struct {
+	Configs []string // column order
+	// Cells[opt][config index]
+	Cells [][]Table5Cell
+}
+
+// table5Machine pairs a configuration name with factories for its
+// baseline and optimized variants.
+type table5Machine struct {
+	name  string
+	build func(opt string) core.Machine
+}
+
+func alphaVariant(base alpha.Config) func(opt string) core.Machine {
+	return func(opt string) core.Machine {
+		cfg := base
+		switch opt {
+		case "":
+		case Table5Optimizations[0]:
+			cfg.Hier.L1D.HitLatency = 1
+		case Table5Optimizations[1]:
+			cfg.Hier.L1D.SizeBytes = 128 << 10
+		case Table5Optimizations[2]:
+			cfg.RenameRegs = 80
+		}
+		return alpha.New(cfg)
+	}
+}
+
+func ruuVariant(base ruu.Config) func(opt string) core.Machine {
+	return func(opt string) core.Machine {
+		cfg := base
+		switch opt {
+		case "":
+		case Table5Optimizations[0]:
+			cfg.Hier.L1D.HitLatency = 1
+		case Table5Optimizations[1]:
+			cfg.Hier.L1D.SizeBytes = 128 << 10
+		case Table5Optimizations[2]:
+			cfg.RenameRegs = 80
+		}
+		return ruu.New(cfg)
+	}
+}
+
+// Table5 reproduces the stability study: three microarchitectural
+// optimizations evaluated on thirteen simulator configurations
+// (sim-alpha, sim-alpha minus each of the ten features,
+// sim-stripped, and the modified sim-outorder). The paper's finding:
+// the eleven sim-alpha configurations agree within about a point,
+// sim-stripped benefits nearly twice as much from the latency
+// reduction, and sim-outorder benefits least.
+func Table5(opt Options) (Table5Result, error) {
+	ws := opt.apply(macrobench.Suite())
+
+	machines := []table5Machine{{"sim-alpha", alphaVariant(alpha.DefaultConfig())}}
+	for _, feat := range alpha.FeatureNames {
+		machines = append(machines, table5Machine{
+			name:  feat,
+			build: alphaVariant(alpha.DefaultConfig().WithoutFeature(feat)),
+		})
+	}
+	machines = append(machines,
+		table5Machine{"sim-strip", alphaVariant(alpha.SimStripped())},
+		table5Machine{"sim-out", ruuVariant(ruu.DefaultConfig())},
+	)
+
+	var out Table5Result
+	for _, m := range machines {
+		out.Configs = append(out.Configs, m.name)
+	}
+	// Baselines per configuration.
+	base := make([]float64, len(machines))
+	for i, m := range machines {
+		res, err := runAll(m.build(""), ws)
+		if err != nil {
+			return out, err
+		}
+		base[i] = hmeanOf(res, ws)
+	}
+	for _, optName := range Table5Optimizations {
+		row := make([]Table5Cell, len(machines))
+		for i, m := range machines {
+			res, err := runAll(m.build(optName), ws)
+			if err != nil {
+				return out, err
+			}
+			row[i] = Table5Cell{
+				Config:      m.name,
+				Improvement: stats.PctChange(base[i], hmeanOf(res, ws)),
+			}
+		}
+		out.Cells = append(out.Cells, row)
+	}
+	return out, nil
+}
+
+func hmeanOf(res map[string]core.RunResult, ws []core.Workload) float64 {
+	var ipcs []float64
+	for _, w := range ws {
+		ipcs = append(ipcs, res[w.Name].IPC())
+	}
+	return stats.HarmonicMean(ipcs)
+}
+
+// String renders the stability matrix.
+func (t Table5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: Simulator stability (%% improvement)\n")
+	fmt.Fprintf(&b, "%-24s", "optimization")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&b, " %9s", c)
+	}
+	fmt.Fprintf(&b, "\n")
+	for i, optName := range Table5Optimizations {
+		fmt.Fprintf(&b, "%-24s", optName)
+		for _, cell := range t.Cells[i] {
+			fmt.Fprintf(&b, " %8.2f%%", cell.Improvement)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

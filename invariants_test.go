@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/macrobench"
+)
+
+// machinesUnderTest is every timing model in the repository.
+func machinesUnderTest() []Machine {
+	ms := []Machine{
+		SimAlpha(), SimInitial(), SimStripped(), SimOutorder(), NativeDS10L(),
+	}
+	for _, f := range FeatureNames() {
+		ms = append(ms, SimAlphaWithout(f))
+	}
+	return ms
+}
+
+// TestRetirementMatchesArchitecture: every machine must retire
+// exactly the instructions the functional machine executes — timing
+// models may disagree about time, never about work.
+func TestRetirementMatchesArchitecture(t *testing.T) {
+	workloads := []string{"C-Ca", "C-S2", "E-D3", "M-D"}
+	for _, name := range workloads {
+		w, _ := WorkloadByName(name)
+		// Functional count.
+		src := w.Source()
+		var want uint64
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			want++
+		}
+		for _, m := range machinesUnderTest() {
+			res, err := m.Run(w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name(), name, err)
+			}
+			if res.Instructions != want {
+				t.Errorf("%s/%s retired %d, functional %d",
+					m.Name(), name, res.Instructions, want)
+			}
+		}
+	}
+}
+
+// TestIPCBounds: no machine may exceed its issue bandwidth, and every
+// machine must make progress.
+func TestIPCBounds(t *testing.T) {
+	for _, name := range []string{"E-I", "C-S1", "M-M"} {
+		w, _ := WorkloadByName(name)
+		w.MaxInstructions = 40_000
+		for _, m := range machinesUnderTest() {
+			res, err := m.Run(w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name(), name, err)
+			}
+			if ipc := res.IPC(); ipc <= 0 || ipc > 8.01 {
+				t.Errorf("%s/%s IPC = %.2f out of physical bounds", m.Name(), name, ipc)
+			}
+		}
+	}
+}
+
+// TestMachinesDeterministic: identical runs produce identical cycle
+// counts on every machine.
+func TestMachinesDeterministic(t *testing.T) {
+	w, _ := WorkloadByName("C-O")
+	for _, m := range machinesUnderTest() {
+		a, err := m.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles {
+			t.Errorf("%s nondeterministic: %d vs %d", m.Name(), a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// Property: randomly parameterized synthetic programs run to
+// completion on the validated machine and the RUU machine with
+// identical retirement counts.
+func TestQuickRandomProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property run in -short mode")
+	}
+	f := func(seed uint32) bool {
+		r := int(seed)
+		p := macrobench.Profile{
+			Name:      "q",
+			Iters:     int64(30 + r%40),
+			BodyReps:  1 + r%3,
+			SeqLoads:  r % 5,
+			RandLoads: (r / 5) % 3,
+			Stores:    (r / 7) % 3,
+			ALU:       4 + (r/11)%12,
+			ALUChains: 1 + (r/13)%6,
+			FPOps:     (r / 17) % 8,
+			FPMulFrac: 2,
+			EasyBrs:   (r / 19) % 3,
+			HardBrs:   (r / 23) % 3,
+			Switches:  (r / 29) % 2,
+			RAWs:      (r / 31) % 2,
+			Unops:     (r / 37) % 3,
+			DataKB:    16 + (r/41)%64,
+			StrideB:   8 + 8*((r/43)%4),
+			RandKB:    16,
+		}
+		w := macrobench.Generate(p)
+		a, err := SimAlpha().Run(w)
+		if err != nil {
+			return false
+		}
+		b, err := SimOutorder().Run(w)
+		if err != nil {
+			return false
+		}
+		return a.Instructions == b.Instructions && a.Cycles > 0 && b.Cycles > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

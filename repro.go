@@ -1,0 +1,242 @@
+// Package repro is the public API of this repository: a
+// reproduction, as a Go library, of Desikan, Burger and Keckler,
+// "Measuring Experimental Error in Microprocessor Simulation"
+// (ISCA 2001).
+//
+// The library provides:
+//
+//   - the machines: the validated 21264 model (sim-alpha), its
+//     unvalidated ancestor (sim-initial), the de-featured variant
+//     (sim-stripped), the SimpleScalar-style RUU model
+//     (sim-outorder), and the simulated reference machine that stands
+//     in for the paper's Compaq DS-10L (see DESIGN.md);
+//   - the workloads: the paper's 21 microbenchmarks, the STREAM and
+//     lmbench calibration kernels, and synthetic stand-ins for the
+//     ten SPEC2000 macrobenchmarks;
+//   - the experiments: every table and figure of the paper's
+//     evaluation, regenerated against the reference machine;
+//   - the substrate needed to build new workloads: an assembler for
+//     the AXP-lite instruction set.
+//
+// Quick start:
+//
+//	m := repro.SimAlpha()
+//	w, _ := repro.WorkloadByName("C-Ca")
+//	res, err := m.Run(w)
+//	fmt.Println(res.IPC())
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/alpha"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/inorder"
+	"repro/internal/isa"
+	"repro/internal/macrobench"
+	"repro/internal/microbench"
+	"repro/internal/native"
+	"repro/internal/ruu"
+	"repro/internal/stats"
+	"repro/internal/validate"
+)
+
+// Machine is any timing model that can run a Workload; see the
+// constructors below.
+type Machine = core.Machine
+
+// Workload is one benchmark program.
+type Workload = core.Workload
+
+// RunResult is the outcome of one run: instruction and cycle counts
+// plus machine-specific event counters.
+type RunResult = core.RunResult
+
+// SimAlpha returns the validated Alpha 21264 simulator, the paper's
+// primary artifact.
+func SimAlpha() Machine { return alpha.New(alpha.DefaultConfig()) }
+
+// SimInitial returns the unvalidated initial simulator: sim-alpha
+// plus the catalogued modeling, specification and abstraction bugs of
+// Section 3.4.
+func SimInitial() Machine { return alpha.New(alpha.SimInitial()) }
+
+// SimStripped returns sim-alpha with the seven performance features
+// and three clock-rate constraints removed (Section 5.1).
+func SimStripped() Machine { return alpha.New(alpha.SimStripped()) }
+
+// SimOutorder returns the SimpleScalar-style RUU simulator.
+func SimOutorder() Machine { return ruu.New(ruu.DefaultConfig()) }
+
+// NativeDS10L returns the reference machine standing in for the
+// paper's Compaq DS-10L workstation, measured through the emulated
+// DCPI sampling profiler.
+func NativeDS10L() Machine { return native.New() }
+
+// SimInorder returns a single-issue, in-order, blocking-cache model
+// (a Mipsy-class simulator), extending the paper's comparison set
+// with the simplest credible timing model.
+func SimInorder() Machine { return inorder.New(inorder.DefaultConfig()) }
+
+// FeatureNames lists the ten 21264 features of Tables 4 and 5:
+// addr, eret, luse, pref, spec, stwt, vbuf, maps, slot, trap.
+func FeatureNames() []string {
+	out := make([]string, len(alpha.FeatureNames))
+	copy(out, alpha.FeatureNames)
+	return out
+}
+
+// SimAlphaTraced returns the validated simulator with a pipeline
+// event trace: one line per retired instruction (fetch/map/issue/
+// complete/retire cycles), the counterpart of SimpleScalar's ptrace.
+func SimAlphaTraced(w io.Writer) Machine {
+	cfg := alpha.DefaultConfig()
+	cfg.PipeTracer = alpha.PipeTraceWriter(w)
+	return alpha.New(cfg)
+}
+
+// SimAlphaWithout returns sim-alpha with one named feature disabled.
+// It panics on an unknown feature name; see FeatureNames.
+func SimAlphaWithout(feature string) Machine {
+	return alpha.New(alpha.DefaultConfig().WithoutFeature(feature))
+}
+
+// Microbenchmarks returns the paper's 21-benchmark validation suite
+// in Table 2 order.
+func Microbenchmarks() []Workload { return microbench.Suite() }
+
+// CalibrationWorkloads returns the Section 4.2 memory-calibration
+// set: M-M, STREAM and lmbench.
+func CalibrationWorkloads() []Workload { return microbench.Calibration() }
+
+// Macrobenchmarks returns the ten SPEC2000 proxies in Table 3 order.
+func Macrobenchmarks() []Workload { return macrobench.Suite() }
+
+// WorkloadByName finds a workload across all suites (micro, macro,
+// and calibration).
+func WorkloadByName(name string) (Workload, bool) {
+	if w, ok := microbench.ByName(name); ok {
+		return w, true
+	}
+	return macrobench.ByName(name)
+}
+
+// PctErrorCPI returns the paper's simulator-error metric: the percent
+// difference in CPI of a simulator against a reference. Negative
+// means the simulator underestimates performance.
+func PctErrorCPI(refIPC, simIPC float64) float64 {
+	return stats.PctErrorCPI(refIPC, simIPC)
+}
+
+// Experiment re-exports: each function regenerates one table or
+// figure of the paper against the in-repo reference machine.
+type (
+	// Options tunes experiment cost; the zero value runs full length.
+	Options = validate.Options
+	// Table2Result is the microbenchmark validation (Table 2).
+	Table2Result = validate.Table2Result
+	// Table3Result is the macrobenchmark validation (Table 3).
+	Table3Result = validate.Table3Result
+	// Table4Result is the feature ablation (Table 4).
+	Table4Result = validate.Table4Result
+	// Table5Result is the stability study (Table 5).
+	Table5Result = validate.Table5Result
+	// Figure2Result is the register-file sensitivity study (Figure 2).
+	Figure2Result = validate.Figure2Result
+	// MemCalResult is the Section 4.2 memory-parameter sweep.
+	MemCalResult = validate.MemCalResult
+)
+
+// Table2 regenerates the microbenchmark validation table.
+func Table2(opt Options) (Table2Result, error) { return validate.Table2(opt) }
+
+// Table3 regenerates the macrobenchmark validation table.
+func Table3(opt Options) (Table3Result, error) { return validate.Table3(opt) }
+
+// Table4 regenerates the feature-ablation table.
+func Table4(opt Options) (Table4Result, error) { return validate.Table4(opt) }
+
+// Table5 regenerates the stability matrix.
+func Table5(opt Options) (Table5Result, error) { return validate.Table5(opt) }
+
+// Figure2 regenerates the register-file sensitivity study.
+func Figure2(opt Options) (Figure2Result, error) { return validate.Figure2(opt) }
+
+// MemoryCalibration reruns the Section 4.2 DRAM parameter sweep.
+func MemoryCalibration(opt Options) (MemCalResult, error) {
+	return validate.MemoryCalibration(opt)
+}
+
+// Assembler access, for building custom workloads against the
+// machines.
+type (
+	// ProgramBuilder assembles AXP-lite programs; see NewProgram.
+	ProgramBuilder = asm.Builder
+	// Program is an assembled program.
+	Program = asm.Program
+	// Inst is one AXP-lite instruction.
+	Inst = isa.Inst
+	// Reg names an architectural register.
+	Reg = isa.Reg
+	// Op is an AXP-lite opcode.
+	Op = isa.Op
+)
+
+// NewProgram returns a builder for a custom workload program.
+func NewProgram(name string) *ProgramBuilder { return asm.NewBuilder(name) }
+
+// ParseProgram assembles AXP-lite source text (the disassembler's
+// syntax plus labels and data directives; see internal/asm.Parse).
+func ParseProgram(name, src string) (*Program, error) { return asm.Parse(name, src) }
+
+// NewWorkload wraps an assembled program as a runnable workload.
+func NewWorkload(name string, p *Program) Workload {
+	return Workload{Name: name, Prog: p, Category: "custom"}
+}
+
+// SaveProgram writes a program in the AXPL object format.
+func SaveProgram(w io.Writer, p *Program) error { return asm.WriteObject(w, p) }
+
+// LoadProgram reads a program from the AXPL object format.
+func LoadProgram(r io.Reader) (*Program, error) { return asm.ReadObject(r) }
+
+// RecordTrace executes the workload functionally and writes its
+// dynamic instruction stream in the AXPT trace format, returning the
+// record count.
+func RecordTrace(w io.Writer, wl Workload) (uint64, error) {
+	tw, err := cpu.NewTraceWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	return tw.Record(wl.Source())
+}
+
+// WorkloadFromTrace returns a workload that replays a recorded AXPT
+// trace file through any machine (trace-driven simulation from disk).
+// The file is reopened on every run.
+func WorkloadFromTrace(name, path string) Workload {
+	return Workload{
+		Name:     name,
+		Category: "trace",
+		NewSource: func() cpu.Source {
+			f, err := os.Open(path)
+			if err != nil {
+				return errSource{fmt.Errorf("repro: %w", err)}
+			}
+			tr, err := cpu.NewTraceReader(f)
+			if err != nil {
+				return errSource{err}
+			}
+			return tr
+		},
+	}
+}
+
+// errSource is an empty stream standing in for an unopenable trace.
+type errSource struct{ err error }
+
+func (e errSource) Next() (cpu.Record, bool) { return cpu.Record{}, false }
