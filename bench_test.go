@@ -14,14 +14,27 @@ import (
 )
 
 // benchOpt truncates each workload; experiments still run every
-// machine on every benchmark.
+// machine on every benchmark. Parallelism 0 fans cells across all
+// CPUs (the cmd/validate default).
 var benchOpt = validate.Options{Limit: 15_000}
 
 // BenchmarkTable1 measures the instruction-latency conformance table
 // (Table 1): nine dependent-chain kernels on sim-alpha.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := validate.Table1(); err != nil {
+		if _, err := validate.Table1(benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Serial pins the experiment engine to one worker, the
+// baseline for the parallel speedup measured by BenchmarkTable3.
+func BenchmarkTable3Serial(b *testing.B) {
+	opt := benchOpt
+	opt.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := validate.Table3(opt); err != nil {
 			b.Fatal(err)
 		}
 	}

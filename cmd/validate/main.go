@@ -1,41 +1,77 @@
 // Command validate regenerates the paper's tables and figures
-// against the in-repo reference machine. With no argument it runs
-// everything; pass table1, table2, sampling, memcal, table3, table4,
-// table5, figure2 or mapping
-// to run one experiment.
+// against the in-repo reference machine.
+//
+// Usage:
+//
+//	validate [-j N] [experiment ...]
+//
+// With no experiment arguments it runs everything in paper order;
+// otherwise it runs only the named experiments (table1, table2,
+// sampling, memcal, table3, table4, table5, figure2, mapping).
+//
+// -j sets how many simulation cells run concurrently (default: all
+// CPUs). Output is byte-identical at every -j because results are
+// merged by cell, never by completion order.
+//
+// Every experiment runs even when one fails; failures are reported on
+// stderr with a trailing summary line, and the exit status is 1 when
+// any experiment failed.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/validate"
 )
 
 func main() {
-	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	jobs := flag.Int("j", 0, "concurrent simulation cells (0 = all CPUs)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: validate [-j N] [experiment ...]\n")
+		flag.PrintDefaults()
 	}
-	var opt validate.Options
-	run := func(name string, f func() (fmt.Stringer, error)) {
-		if which != "all" && which != name {
+	flag.Parse()
+
+	opt := validate.Options{Parallelism: *jobs}
+	var suite runner.Suite
+	suite.Add("table1", func() (fmt.Stringer, error) { return validate.Table1(opt) })
+	suite.Add("table2", func() (fmt.Stringer, error) { return validate.Table2(opt) })
+	suite.Add("sampling", func() (fmt.Stringer, error) { return validate.SamplingStudy(opt) })
+	suite.Add("memcal", func() (fmt.Stringer, error) { return validate.MemoryCalibration(opt) })
+	suite.Add("table3", func() (fmt.Stringer, error) { return validate.Table3(opt) })
+	suite.Add("table4", func() (fmt.Stringer, error) { return validate.Table4(opt) })
+	suite.Add("table5", func() (fmt.Stringer, error) { return validate.Table5(opt) })
+	suite.Add("figure2", func() (fmt.Stringer, error) { return validate.Figure2(opt) })
+	suite.Add("mapping", func() (fmt.Stringer, error) { return validate.MappingStudy(opt) })
+
+	selected := flag.Args()
+	for _, name := range selected {
+		if !suite.Has(name) {
+			fmt.Fprintf(os.Stderr, "validate: unknown experiment %q (have: %s)\n",
+				name, strings.Join(suite.Names(), ", "))
+			os.Exit(2)
+		}
+	}
+
+	var failures []string
+	ran := 0
+	failed := suite.Run(selected, func(r runner.Result) {
+		ran++
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
+			failures = append(failures, r.Name)
 			return
 		}
-		out, err := f()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
+		fmt.Println(r.Output)
+	})
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "validate: %d of %d experiments failed: %s\n",
+			failed, ran, strings.Join(failures, ", "))
+		os.Exit(1)
 	}
-	run("table1", func() (fmt.Stringer, error) { return validate.Table1() })
-	run("table2", func() (fmt.Stringer, error) { return validate.Table2(opt) })
-	run("sampling", func() (fmt.Stringer, error) { return validate.SamplingStudy(opt) })
-	run("memcal", func() (fmt.Stringer, error) { return validate.MemoryCalibration(opt) })
-	run("table3", func() (fmt.Stringer, error) { return validate.Table3(opt) })
-	run("table4", func() (fmt.Stringer, error) { return validate.Table4(opt) })
-	run("table5", func() (fmt.Stringer, error) { return validate.Table5(opt) })
-	run("figure2", func() (fmt.Stringer, error) { return validate.Figure2(opt) })
-	run("mapping", func() (fmt.Stringer, error) { return validate.MappingStudy(opt) })
 }

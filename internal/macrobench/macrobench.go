@@ -118,6 +118,12 @@ func Profiles() []Profile {
 	}
 }
 
+// The generated suite is cached behind a sync.Once and shared by
+// every caller, including concurrent experiment cells on the runner's
+// worker pool. The cache is immutable once built: accessors return
+// fresh slices of Workload values, and the shared *asm.Program
+// pointers are never written after assembly (machines copy data
+// segments into private memory at load and only read the text).
 var (
 	once   sync.Once
 	suite  []core.Workload

@@ -1,0 +1,39 @@
+package macrobench
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAccess hammers the sync.Once-guarded suite cache from
+// many goroutines while each mutates its returned copy, the access
+// pattern of parallel experiment cells. `go test -race` turns any
+// sharing of mutable state between callers into a failure.
+func TestConcurrentAccess(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s := Suite()
+				for j := range s {
+					s[j].MaxInstructions = uint64(g*100 + j)
+				}
+				s[0], s[1] = s[1], s[0]
+				if _, ok := ByName("gzip"); !ok {
+					t.Error("gzip missing")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := Suite()
+	if s[0].Name != "gzip" || s[0].MaxInstructions != 0 {
+		t.Errorf("cache leaked caller mutations: %q limit %d",
+			s[0].Name, s[0].MaxInstructions)
+	}
+}

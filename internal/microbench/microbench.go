@@ -27,6 +27,13 @@ const (
 	recurseDeep = 1000 // C-R recursion depth (paper: 1,000-level)
 )
 
+// The built suite is cached behind a sync.Once and shared by every
+// caller, including concurrent experiment cells on the runner's
+// worker pool. That is safe because the cache is immutable once
+// built: accessors hand out fresh slices of Workload values (callers
+// may set MaxInstructions etc. freely), and the shared *asm.Program
+// pointers are never written after assembly — machines copy data
+// segments into private memory at load and only read the text.
 var (
 	once   sync.Once
 	suite  []core.Workload

@@ -1,0 +1,47 @@
+package microbench
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAccess hammers the sync.Once-guarded suite cache from
+// many goroutines while each mutates its returned copy, the access
+// pattern of parallel experiment cells. `go test -race` turns any
+// sharing of mutable state between callers into a failure.
+func TestConcurrentAccess(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s := Suite()
+				// Callers own the returned slice: truncating budgets
+				// or reordering must not leak into the cache.
+				for j := range s {
+					s[j].MaxInstructions = uint64(g*100 + j)
+				}
+				s[0], s[1] = s[1], s[0]
+				if _, ok := ByName("M-M"); !ok {
+					t.Error("M-M missing")
+					return
+				}
+				c := Calibration()
+				c[0].Name = "clobbered"
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The cache itself must be untouched by all that mutation.
+	s := Suite()
+	if s[0].Name != "C-Ca" || s[0].MaxInstructions != 0 {
+		t.Errorf("cache leaked caller mutations: %q limit %d",
+			s[0].Name, s[0].MaxInstructions)
+	}
+	if c := Calibration(); c[0].Name != "M-M" {
+		t.Errorf("calibration cache leaked caller mutations: %q", c[0].Name)
+	}
+}

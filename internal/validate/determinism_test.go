@@ -1,0 +1,53 @@
+package validate
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelMergeDeterminism is the engine's core guarantee: the
+// rendered output of an experiment is byte-identical whether its
+// cells run on one worker or race across eight, because results are
+// merged by cell index, never by completion order.
+func TestParallelMergeDeterminism(t *testing.T) {
+	serial := quick
+	serial.Parallelism = 1
+	wide := quick
+	wide.Parallelism = 8
+
+	s, err := Table2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Table2(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != w.String() {
+		t.Errorf("Table2 output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+			s.String(), w.String())
+	}
+}
+
+// TestConcurrentExperiments runs two whole experiments at once, each
+// internally parallel, over the shared workload caches. Under
+// `go test -race` this is the concurrency audit for the sync.Once
+// suites and any latent aliasing of programs between machines.
+func TestConcurrentExperiments(t *testing.T) {
+	short := Options{Limit: 4_000, Parallelism: 4}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := Table2(short); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := MappingStudy(short); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+}

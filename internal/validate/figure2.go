@@ -62,17 +62,24 @@ func Figure2(opt Options) (Figure2Result, error) {
 		return alpha.New(cfg)
 	}
 
+	// Six machines (two simulators × three RF configurations) × the
+	// macro suite, all cells concurrent on the worker pool.
+	var builds []factory
+	for i := 0; i < 3; i++ {
+		builds = append(builds,
+			func() core.Machine { return abstract(i) },
+			func() core.Machine { return alphaM(i) })
+	}
+	grids, err := runGrid(opt, builds, ws)
+	if err != nil {
+		return Figure2Result{}, err
+	}
+
 	var out Figure2Result
 	var abs [3]map[string]core.RunResult
 	var alp [3]map[string]core.RunResult
 	for i := 0; i < 3; i++ {
-		var err error
-		if abs[i], err = runAll(abstract(i), ws); err != nil {
-			return out, err
-		}
-		if alp[i], err = runAll(alphaM(i), ws); err != nil {
-			return out, err
-		}
+		abs[i], alp[i] = grids[2*i], grids[2*i+1]
 	}
 	for _, w := range ws {
 		s := Figure2Series{Benchmark: w.Name}

@@ -1,0 +1,158 @@
+package validate
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden-table regression harness. Each experiment is regenerated
+// at a fixed truncated operating point and compared byte-for-byte
+// against its blessed rendering in testdata/*.golden; any drift in
+// the simulators, the workload generators, or the table formatting
+// fails the test. Re-bless after an intentional change with
+//
+//	go test ./internal/validate -run TestGolden -update
+//
+// The checked-in full-length references (results_full.txt,
+// results_mapping.txt) are asserted by TestGoldenFullResults, which
+// regenerates every experiment at full length (~20 CPU-minutes) and
+// therefore only runs when GOLDEN_FULL=1 is set.
+var update = flag.Bool("update", false, "re-bless the golden files in testdata/")
+
+// goldenOpt is the blessed operating point: truncated runs (the
+// paper's relationships are stable well below full length) at
+// whatever parallelism the host has, which must not change output.
+var goldenOpt = Options{Limit: 15_000}
+
+// goldenExperiments lists every experiment in paper order. Table 5
+// runs shorter: its grid is 52 machine variants wide.
+var goldenExperiments = []struct {
+	name string
+	run  func() (fmt.Stringer, error)
+}{
+	{"table1", func() (fmt.Stringer, error) { return Table1(goldenOpt) }},
+	{"table2", func() (fmt.Stringer, error) { return Table2(goldenOpt) }},
+	{"sampling", func() (fmt.Stringer, error) { return SamplingStudy(goldenOpt) }},
+	{"memcal", func() (fmt.Stringer, error) { return MemoryCalibration(goldenOpt) }},
+	{"table3", func() (fmt.Stringer, error) { return Table3(goldenOpt) }},
+	{"table4", func() (fmt.Stringer, error) { return Table4(goldenOpt) }},
+	{"table5", func() (fmt.Stringer, error) { return Table5(Options{Limit: 8_000}) }},
+	{"figure2", func() (fmt.Stringer, error) { return Figure2(goldenOpt) }},
+	{"mapping", func() (fmt.Stringer, error) { return MappingStudy(goldenOpt) }},
+}
+
+func TestGoldenTables(t *testing.T) {
+	for _, exp := range goldenExperiments {
+		t.Run(exp.name, func(t *testing.T) {
+			out, err := exp.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := out.String()
+			path := filepath.Join("testdata", exp.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to bless): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden\n--- got ---\n%s--- want ---\n%s",
+					exp.name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFullResults asserts the checked-in full-length outputs:
+// the regenerated tables must match results_full.txt and
+// results_mapping.txt byte-for-byte. This is the paper's whole
+// argument — simulator results drift silently unless continuously
+// revalidated against a reference — applied to ourselves. It costs
+// about 20 CPU-minutes, so it is gated behind GOLDEN_FULL=1.
+func TestGoldenFullResults(t *testing.T) {
+	if os.Getenv("GOLDEN_FULL") == "" {
+		t.Skip("set GOLDEN_FULL=1 to regenerate every experiment at full length")
+	}
+	var full Options
+	var b strings.Builder
+	var mappingOut string
+	for _, exp := range goldenExperiments {
+		out, err := func() (fmt.Stringer, error) {
+			switch exp.name {
+			case "table1":
+				return Table1(full)
+			case "table2":
+				return Table2(full)
+			case "sampling":
+				return SamplingStudy(full)
+			case "memcal":
+				return MemoryCalibration(full)
+			case "table3":
+				return Table3(full)
+			case "table4":
+				return Table4(full)
+			case "table5":
+				return Table5(full)
+			case "figure2":
+				return Figure2(full)
+			case "mapping":
+				return MappingStudy(full)
+			}
+			panic("unreachable")
+		}()
+		if err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		// cmd/validate prints each experiment with Println: the
+		// rendering plus one separating newline.
+		b.WriteString(out.String())
+		b.WriteString("\n")
+		if exp.name == "mapping" {
+			mappingOut = out.String()
+		}
+	}
+	got := b.String()
+
+	want, err := os.ReadFile(filepath.Join("..", "..", "results_full.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference file carries the harness's trailing exit marker.
+	ref := strings.TrimSuffix(string(want), "EXIT 0\n")
+	if got != ref {
+		t.Errorf("full-length output drifted from results_full.txt (%d vs %d bytes)",
+			len(got), len(ref))
+		reportFirstDiff(t, got, ref)
+	}
+
+	wantMap, err := os.ReadFile(filepath.Join("..", "..", "results_mapping.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMap := strings.TrimSuffix(string(wantMap), "EXIT 0\n")
+	if gotMap := mappingOut + "\n"; gotMap != refMap {
+		t.Errorf("mapping output drifted from results_mapping.txt")
+		reportFirstDiff(t, gotMap, refMap)
+	}
+}
+
+func reportFirstDiff(t *testing.T, got, want string) {
+	t.Helper()
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Errorf("first divergence at line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+			return
+		}
+	}
+	t.Errorf("one output is a prefix of the other (%d vs %d lines)", len(gl), len(wl))
+}

@@ -1,0 +1,52 @@
+package validate
+
+import (
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// A machine factory builds a fresh machine instance. Every simulation
+// cell constructs its own machine (machines are cheap, config-only
+// values; pipeline state is built per Run), so no instance is ever
+// shared between workers.
+type factory func() core.Machine
+
+// runGrid executes the full (machine × workload) grid of an
+// experiment on the worker pool and returns one workload-name-keyed
+// result map per factory, in factory order. The merge is keyed by
+// cell index — never by completion order — so the grid is
+// deterministic at any parallelism.
+func runGrid(opt Options, builds []factory, ws []core.Workload) ([]map[string]core.RunResult, error) {
+	type cell struct{ m, w int }
+	cells := make([]cell, 0, len(builds)*len(ws))
+	for m := range builds {
+		for w := range ws {
+			cells = append(cells, cell{m, w})
+		}
+	}
+	res, err := runner.Map(opt.Parallelism, cells, func(_ int, c cell) (core.RunResult, error) {
+		return builds[c.m]().Run(ws[c.w])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]core.RunResult, len(builds))
+	for i := range out {
+		out[i] = make(map[string]core.RunResult, len(ws))
+	}
+	for i, c := range cells {
+		out[c.m][ws[c.w].Name] = res[i]
+	}
+	return out, nil
+}
+
+// hmeanOf aggregates a result map into a harmonic-mean IPC over the
+// workloads, in workload order.
+func hmeanOf(res map[string]core.RunResult, ws []core.Workload) float64 {
+	var ipcs []float64
+	for _, w := range ws {
+		ipcs = append(ipcs, res[w.Name].IPC())
+	}
+	return stats.HarmonicMean(ipcs)
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/alpha"
+	"repro/internal/core"
 	"repro/internal/macrobench"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -42,19 +43,28 @@ func MappingStudy(opt Options) (MappingResult, error) {
 		},
 		func() vm.Mapper { return &vm.HashMapper{Seed: 12345} },
 	}
+	// Three mapping policies × the macro suite, every cell concurrent
+	// on the worker pool.
+	var builds []factory
+	for _, nm := range mappers {
+		builds = append(builds, func() core.Machine {
+			cfg := alpha.DefaultConfig()
+			cfg.NewMapper = nm
+			return alpha.New(cfg)
+		})
+	}
+	grids, err := runGrid(opt, builds, ws)
+	if err != nil {
+		return MappingResult{}, err
+	}
+
 	var out MappingResult
 	for _, w := range ws {
 		var row MappingRow
 		row.Benchmark = w.Name
 		ipcs := make([]float64, 3)
-		for i, nm := range mappers {
-			cfg := alpha.DefaultConfig()
-			cfg.NewMapper = nm
-			res, err := alpha.New(cfg).Run(w)
-			if err != nil {
-				return out, err
-			}
-			ipcs[i] = res.IPC()
+		for i := range mappers {
+			ipcs[i] = grids[i][w.Name].IPC()
 		}
 		row.SeqIPC, row.ColorIPC, row.HashIPC = ipcs[0], ipcs[1], ipcs[2]
 		lo, hi := ipcs[0], ipcs[0]

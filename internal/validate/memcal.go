@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/alpha"
+	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/microbench"
 	"repro/internal/native"
@@ -45,50 +46,58 @@ type MemCalResult struct {
 // winner: open page, RAS 2, CAS 4, precharge 2, 2 controller cycles.
 func MemoryCalibration(opt Options) (MemCalResult, error) {
 	ws := opt.apply(microbench.Calibration())
-	nat := native.New()
-	natTimes := make(map[string]float64, len(ws))
-	for _, w := range ws {
-		r, err := nat.Run(w)
-		if err != nil {
-			return MemCalResult{}, err
-		}
-		natTimes[w.Name] = float64(r.Cycles)
-	}
 
-	var out MemCalResult
+	// Enumerate the sweep in its canonical order, then run the
+	// reference machine plus every swept configuration as one
+	// (1+48) × 3 grid on the worker pool.
+	var points []MemCalPoint
 	for _, open := range []bool{true, false} {
 		for _, ras := range []int{2, 4} {
 			for _, cas := range []int{2, 4, 6} {
 				for _, pre := range []int{2, 4} {
 					for _, ctl := range []int{1, 2} {
-						cfg := alpha.DefaultConfig()
-						cfg.DRAM.OpenPage = open
-						cfg.DRAM.RASCycles = ras
-						cfg.DRAM.CASCycles = cas
-						cfg.DRAM.PrechargeCycles = pre
-						cfg.DRAM.ControllerCycles = ctl
-						pt := MemCalPoint{
+						points = append(points, MemCalPoint{
 							RAS: ras, CAS: cas, Precharge: pre,
 							Controller: ctl, OpenPage: open,
-						}
-						m := alpha.New(cfg)
-						var errs []float64
-						for i, w := range ws {
-							r, err := m.Run(w)
-							if err != nil {
-								return out, err
-							}
-							// Percent difference in execution time.
-							e := (float64(r.Cycles) - natTimes[w.Name]) / natTimes[w.Name] * 100
-							pt.Errs[i] = e
-							errs = append(errs, e)
-						}
-						pt.MeanAbs = stats.MeanAbs(errs)
-						out.Points = append(out.Points, pt)
+						})
 					}
 				}
 			}
 		}
+	}
+	builds := []factory{func() core.Machine { return native.New() }}
+	for _, pt := range points {
+		builds = append(builds, func() core.Machine {
+			cfg := alpha.DefaultConfig()
+			cfg.DRAM.OpenPage = pt.OpenPage
+			cfg.DRAM.RASCycles = pt.RAS
+			cfg.DRAM.CASCycles = pt.CAS
+			cfg.DRAM.PrechargeCycles = pt.Precharge
+			cfg.DRAM.ControllerCycles = pt.Controller
+			return alpha.New(cfg)
+		})
+	}
+	grids, err := runGrid(opt, builds, ws)
+	if err != nil {
+		return MemCalResult{}, err
+	}
+
+	natTimes := make(map[string]float64, len(ws))
+	for _, w := range ws {
+		natTimes[w.Name] = float64(grids[0][w.Name].Cycles)
+	}
+	var out MemCalResult
+	for pi, pt := range points {
+		res := grids[pi+1]
+		var errs []float64
+		for i, w := range ws {
+			// Percent difference in execution time.
+			e := (float64(res[w.Name].Cycles) - natTimes[w.Name]) / natTimes[w.Name] * 100
+			pt.Errs[i] = e
+			errs = append(errs, e)
+		}
+		pt.MeanAbs = stats.MeanAbs(errs)
+		out.Points = append(out.Points, pt)
 	}
 	out.Best = out.Points[0]
 	for _, p := range out.Points[1:] {

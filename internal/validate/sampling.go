@@ -9,6 +9,7 @@ import (
 	"repro/internal/dcpi"
 	"repro/internal/microbench"
 	"repro/internal/native"
+	"repro/internal/runner"
 )
 
 // SamplingPoint is one DCPI sampling interval and its measurement
@@ -39,15 +40,18 @@ type SamplingResult struct {
 // instrumentation dilation.
 func SamplingStudy(opt Options) (SamplingResult, error) {
 	ws := opt.apply(microbench.Suite())
-	// Exact runs once.
-	exact := native.New()
+	// Exact runs once, one cell per workload on the worker pool; the
+	// per-interval profiler emulation afterwards is pure arithmetic.
+	exacts, err := runner.Map(opt.Parallelism, ws,
+		func(_ int, w core.Workload) (core.RunResult, error) {
+			return native.New().RunExact(w)
+		})
+	if err != nil {
+		return SamplingResult{}, err
+	}
 	truth := make(map[string]core.RunResult, len(ws))
-	for _, w := range ws {
-		r, err := exact.RunExact(w)
-		if err != nil {
-			return SamplingResult{}, err
-		}
-		truth[w.Name] = r
+	for i, w := range ws {
+		truth[w.Name] = exacts[i]
 	}
 
 	var out SamplingResult

@@ -8,6 +8,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/runner"
 )
 
 // Table1Row is one instruction class with its specified and measured
@@ -33,25 +34,29 @@ type Table1Result struct {
 // sim-alpha and the per-operation latency is inferred from the cycle
 // count. This is a conformance check that the timing model actually
 // implements Table 1 rather than merely declaring it.
-func Table1() (Table1Result, error) {
-	m := alpha.New(alpha.DefaultConfig())
-	var out Table1Result
-	for _, c := range table1Chains() {
-		w, chainOps := c.build()
-		res, err := m.Run(w)
-		if err != nil {
-			return out, err
-		}
-		// Subtract the loop overhead measured with an empty chain of
-		// single-cycle adds paced by the same loop.
-		lat := float64(res.Cycles) / float64(chainOps)
-		out.Rows = append(out.Rows, Table1Row{
-			Class:     c.name,
-			Specified: c.specified,
-			Measured:  lat,
+// Each latency chain is one independent cell on the worker pool;
+// Options.Limit is intentionally not applied, since a truncated chain
+// would measure a different latency, and the chains are short anyway.
+func Table1(opt Options) (Table1Result, error) {
+	rows, err := runner.Map(opt.Parallelism, table1Chains(),
+		func(_ int, c latencyChain) (Table1Row, error) {
+			w, chainOps := c.build()
+			res, err := alpha.New(alpha.DefaultConfig()).Run(w)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			// Subtract the loop overhead measured with an empty chain
+			// of single-cycle adds paced by the same loop.
+			return Table1Row{
+				Class:     c.name,
+				Specified: c.specified,
+				Measured:  float64(res.Cycles) / float64(chainOps),
+			}, nil
 		})
+	if err != nil {
+		return Table1Result{}, err
 	}
-	return out, nil
+	return Table1Result{Rows: rows}, nil
 }
 
 type latencyChain struct {

@@ -43,31 +43,24 @@ type Table2Result struct {
 // Table2 reproduces the microbenchmark validation: each of the 21
 // microbenchmarks on the native machine, sim-initial, sim-alpha and
 // sim-outorder, with percent CPI errors and their arithmetic means.
+// All 4×21 cells run concurrently on the worker pool.
 func Table2(opt Options) (Table2Result, error) {
-	nat := native.New()
-	initial := alpha.New(alpha.SimInitial())
-	valid := alpha.New(alpha.DefaultConfig())
-	outorder := ruu.New(ruu.DefaultConfig())
+	ws := opt.apply(microbench.Suite())
+	grids, err := runGrid(opt, []factory{
+		func() core.Machine { return native.New() },
+		func() core.Machine { return alpha.New(alpha.SimInitial()) },
+		func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
+		func() core.Machine { return ruu.New(ruu.DefaultConfig()) },
+	}, ws)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	nat, initial, valid, outorder := grids[0], grids[1], grids[2], grids[3]
 
 	var out Table2Result
 	var ie, ae, oe []float64
-	for _, w := range opt.apply(microbench.Suite()) {
-		nr, err := nat.Run(w)
-		if err != nil {
-			return out, err
-		}
-		ir, err := initial.Run(w)
-		if err != nil {
-			return out, err
-		}
-		ar, err := valid.Run(w)
-		if err != nil {
-			return out, err
-		}
-		or, err := outorder.Run(w)
-		if err != nil {
-			return out, err
-		}
+	for _, w := range ws {
+		nr, ir, ar, or := nat[w.Name], initial[w.Name], valid[w.Name], outorder[w.Name]
 		row := Table2Row{
 			Name:        w.Name,
 			NativeIPC:   nr.IPC(),
@@ -103,17 +96,4 @@ func (t Table2Result) String() string {
 	fmt.Fprintf(&b, "%-7s %8s | %8s %7.1f%% | %8s %7.1f%% | %8s %7.1f%%\n",
 		"mean", "", "", t.MeanInitialErr, "", t.MeanAlphaErr, "", t.MeanOutorderErr)
 	return b.String()
-}
-
-// runAll executes a workload list on a machine, returning IPCs.
-func runAll(m core.Machine, ws []core.Workload) (map[string]core.RunResult, error) {
-	out := make(map[string]core.RunResult, len(ws))
-	for _, w := range ws {
-		r, err := m.Run(w)
-		if err != nil {
-			return nil, err
-		}
-		out[w.Name] = r
-	}
-	return out, nil
 }

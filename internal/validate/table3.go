@@ -12,29 +12,6 @@ import (
 	"repro/internal/stats"
 )
 
-// Options tunes experiment cost. The zero value runs everything at
-// full length.
-type Options struct {
-	// Limit caps dynamic instructions per run (0 = workload length).
-	// Benches use it to keep regeneration fast; shapes are stable
-	// well below full length.
-	Limit uint64
-}
-
-func (o Options) apply(ws []core.Workload) []core.Workload {
-	if o.Limit == 0 {
-		return ws
-	}
-	out := make([]core.Workload, len(ws))
-	copy(out, ws)
-	for i := range out {
-		if out[i].MaxInstructions == 0 || out[i].MaxInstructions > o.Limit {
-			out[i].MaxInstructions = o.Limit
-		}
-	}
-	return out
-}
-
 // Table3Row is one macrobenchmark's validation results.
 type Table3Row struct {
 	Name        string
@@ -68,22 +45,16 @@ type Table3Result struct {
 // ~+37% (consistent overestimation).
 func Table3(opt Options) (Table3Result, error) {
 	ws := opt.apply(macrobench.Suite())
-	nat, err := runAll(native.New(), ws)
+	grids, err := runGrid(opt, []factory{
+		func() core.Machine { return native.New() },
+		func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
+		func() core.Machine { return alpha.New(alpha.SimStripped()) },
+		func() core.Machine { return ruu.New(ruu.DefaultConfig()) },
+	}, ws)
 	if err != nil {
 		return Table3Result{}, err
 	}
-	al, err := runAll(alpha.New(alpha.DefaultConfig()), ws)
-	if err != nil {
-		return Table3Result{}, err
-	}
-	st, err := runAll(alpha.New(alpha.SimStripped()), ws)
-	if err != nil {
-		return Table3Result{}, err
-	}
-	oo, err := runAll(ruu.New(ruu.DefaultConfig()), ws)
-	if err != nil {
-		return Table3Result{}, err
-	}
+	nat, al, st, oo := grids[0], grids[1], grids[2], grids[3]
 
 	var out Table3Result
 	var nIPC, aIPC, sIPC, oIPC, aErr, sErr, oErr []float64

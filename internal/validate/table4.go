@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/alpha"
+	"repro/internal/core"
 	"repro/internal/macrobench"
 	"repro/internal/stats"
 )
@@ -30,24 +31,32 @@ type Table4Result struct {
 // store-wait bits each contribute more than 4%; removing map-stage
 // stalls gains ~2%; the per-benchmark variability (std dev) exceeds
 // one percentage point everywhere.
+// The grid is (1 + 10 features) machines × the macro suite; every
+// cell runs concurrently on the worker pool.
 func Table4(opt Options) (Table4Result, error) {
 	ws := opt.apply(macrobench.Suite())
-	ref, err := runAll(alpha.New(alpha.DefaultConfig()), ws)
+	builds := []factory{
+		func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
+	}
+	for _, feat := range alpha.FeatureNames {
+		builds = append(builds, func() core.Machine {
+			return alpha.New(alpha.DefaultConfig().WithoutFeature(feat))
+		})
+	}
+	grids, err := runGrid(opt, builds, ws)
 	if err != nil {
 		return Table4Result{}, err
 	}
+
+	ref := grids[0]
 	var refIPCs []float64
 	for _, w := range ws {
 		refIPCs = append(refIPCs, ref[w.Name].IPC())
 	}
 	out := Table4Result{RefIPC: stats.HarmonicMean(refIPCs)}
 
-	for _, feat := range alpha.FeatureNames {
-		cfg := alpha.DefaultConfig().WithoutFeature(feat)
-		res, err := runAll(alpha.New(cfg), ws)
-		if err != nil {
-			return Table4Result{}, err
-		}
+	for fi, feat := range alpha.FeatureNames {
+		res := grids[fi+1]
 		var ipcs, changes []float64
 		for _, w := range ws {
 			ipc := res[w.Name].IPC()

@@ -93,26 +93,34 @@ func Table5(opt Options) (Table5Result, error) {
 		table5Machine{"sim-out", ruuVariant(ruu.DefaultConfig())},
 	)
 
+	// Flatten the (configuration × variant) plane into one grid: for
+	// configuration i, build i*(1+nOpts) is its baseline and build
+	// i*(1+nOpts)+1+k its k-th optimization. Every (variant ×
+	// workload) cell then runs concurrently on the worker pool.
+	variants := append([]string{""}, Table5Optimizations...)
+	var builds []factory
+	for _, m := range machines {
+		for _, v := range variants {
+			builds = append(builds, func() core.Machine { return m.build(v) })
+		}
+	}
+	grids, err := runGrid(opt, builds, ws)
+	if err != nil {
+		return Table5Result{}, err
+	}
+
 	var out Table5Result
 	for _, m := range machines {
 		out.Configs = append(out.Configs, m.name)
 	}
-	// Baselines per configuration.
 	base := make([]float64, len(machines))
-	for i, m := range machines {
-		res, err := runAll(m.build(""), ws)
-		if err != nil {
-			return out, err
-		}
-		base[i] = hmeanOf(res, ws)
+	for i := range machines {
+		base[i] = hmeanOf(grids[i*len(variants)], ws)
 	}
-	for _, optName := range Table5Optimizations {
+	for k := range Table5Optimizations {
 		row := make([]Table5Cell, len(machines))
 		for i, m := range machines {
-			res, err := runAll(m.build(optName), ws)
-			if err != nil {
-				return out, err
-			}
+			res := grids[i*len(variants)+1+k]
 			row[i] = Table5Cell{
 				Config:      m.name,
 				Improvement: stats.PctChange(base[i], hmeanOf(res, ws)),
@@ -121,14 +129,6 @@ func Table5(opt Options) (Table5Result, error) {
 		out.Cells = append(out.Cells, row)
 	}
 	return out, nil
-}
-
-func hmeanOf(res map[string]core.RunResult, ws []core.Workload) float64 {
-	var ipcs []float64
-	for _, w := range ws {
-		ipcs = append(ipcs, res[w.Name].IPC())
-	}
-	return stats.HarmonicMean(ipcs)
 }
 
 // String renders the stability matrix.

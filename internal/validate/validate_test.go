@@ -183,7 +183,7 @@ func abs(x float64) float64 {
 }
 
 func TestTable1LatencyConformance(t *testing.T) {
-	res, err := Table1()
+	res, err := Table1(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
