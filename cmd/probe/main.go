@@ -1,5 +1,228 @@
+// Command probe is the HTTP client for the simd simulation service.
+//
+// Usage:
+//
+//	probe [-addr host:port] <command> [args]
+//
+// Commands:
+//
+//	run [-m machine] [-limit N] workload...   simulate cells, print a result table
+//	experiment name...                        print experiment tables (as cmd/validate)
+//	machines                                  list served machine models
+//	workloads                                 list served workloads
+//	health                                    check /healthz
+//	metrics                                   dump /metrics
+//
+// Examples:
+//
+//	probe -addr :8080 run -m sim-alpha gzip
+//	probe experiment table2
 package main
 
-import "fmt"
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
 
-func main() { fmt.Println("placeholder") }
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: probe [-addr host:port] <command> [args]
+
+commands:
+  run [-m machine] [-limit N] workload...   simulate cells, print a result table
+  experiment name...                        print experiment tables (as cmd/validate)
+  machines                                  list served machine models
+  workloads                                 list served workloads
+  health                                    check /healthz
+  metrics                                   dump /metrics
+`)
+	os.Exit(2)
+}
+
+// client wraps the service endpoint.
+type client struct {
+	base string
+	http *http.Client
+}
+
+// get fetches a path and returns body plus the cache-status header.
+func (c *client) get(path string) ([]byte, string, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, "", fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return nil, "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, resp.Header.Get("X-Simcache"), nil
+}
+
+// runResponse mirrors service.RunResponse.
+type runResponse struct {
+	Machine      string  `json:"machine"`
+	Workload     string  `json:"workload"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	CPI          float64 `json:"cpi"`
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "simd address (host:port or URL)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		if strings.HasPrefix(base, ":") {
+			base = "localhost" + base
+		}
+		base = "http://" + base
+	}
+	c := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(c, args)
+	case "experiment":
+		err = cmdExperiment(c, args)
+	case "machines":
+		err = cmdMachines(c)
+	case "workloads":
+		err = cmdWorkloads(c)
+	case "health":
+		err = cmdHealth(c)
+	case "metrics":
+		err = cmdMetrics(c)
+	default:
+		fmt.Fprintf(os.Stderr, "probe: unknown command %q\n", cmd)
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "probe: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func cmdRun(c *client, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	machine := fs.String("m", "sim-alpha", "machine model")
+	limit := fs.Uint64("limit", 0, "dynamic instruction cap (0 = workload length)")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("run: at least one workload is required")
+	}
+
+	fmt.Printf("%-14s %-10s %12s %12s %7s %7s  %s\n",
+		"machine", "workload", "insts", "cycles", "ipc", "cpi", "cache")
+	for _, w := range fs.Args() {
+		q := url.Values{"machine": {*machine}, "workload": {w}}
+		if *limit > 0 {
+			q.Set("limit", fmt.Sprint(*limit))
+		}
+		body, status, err := c.get("/v1/run?" + q.Encode())
+		if err != nil {
+			return fmt.Errorf("run %s: %w", w, err)
+		}
+		var r runResponse
+		if err := json.Unmarshal(body, &r); err != nil {
+			return fmt.Errorf("run %s: decoding response: %w", w, err)
+		}
+		fmt.Printf("%-14s %-10s %12d %12d %7.3f %7.3f  %s\n",
+			r.Machine, r.Workload, r.Instructions, r.Cycles, r.IPC, r.CPI, status)
+	}
+	return nil
+}
+
+func cmdExperiment(c *client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("experiment: at least one name is required (try: probe experiment table2)")
+	}
+	for _, name := range args {
+		body, _, err := c.get("/v1/experiment/" + url.PathEscape(name))
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		// Same rendering as cmd/validate: the table, then a blank line.
+		fmt.Println(string(body))
+	}
+	return nil
+}
+
+func cmdMachines(c *client) error {
+	body, _, err := c.get("/v1/machines")
+	if err != nil {
+		return err
+	}
+	var machines []struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(body, &machines); err != nil {
+		return err
+	}
+	for _, m := range machines {
+		fmt.Printf("%-14s %-12s %s\n", m.Name, m.Fingerprint, m.Description)
+	}
+	return nil
+}
+
+func cmdWorkloads(c *client) error {
+	body, _, err := c.get("/v1/workloads")
+	if err != nil {
+		return err
+	}
+	var workloads []struct {
+		Name     string `json:"name"`
+		Category string `json:"category"`
+		Suite    string `json:"suite"`
+	}
+	if err := json.Unmarshal(body, &workloads); err != nil {
+		return err
+	}
+	for _, w := range workloads {
+		fmt.Printf("%-10s %-12s %s\n", w.Name, w.Suite, w.Category)
+	}
+	return nil
+}
+
+func cmdHealth(c *client) error {
+	body, _, err := c.get("/healthz")
+	if err != nil {
+		return err
+	}
+	fmt.Print(string(body))
+	return nil
+}
+
+func cmdMetrics(c *client) error {
+	body, _, err := c.get("/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Print(string(body))
+	return nil
+}

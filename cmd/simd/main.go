@@ -1,0 +1,96 @@
+// Command simd is the simulation service daemon: it serves the
+// machine models, workload suites, and paper experiments over an
+// HTTP JSON API with a content-addressed result cache, so every
+// deterministic simulation is computed once and served many times.
+//
+// Usage:
+//
+//	simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]
+//
+// Routes (see internal/service):
+//
+//	GET /v1/run?machine=M&workload=W[&limit=N]
+//	GET /v1/experiment/{name}[?limit=N]
+//	GET /v1/machines
+//	GET /v1/workloads
+//	GET /healthz
+//	GET /metrics            (text; ?format=json for JSON)
+//
+// SIGINT/SIGTERM drain in-flight requests and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 4096, "result-cache capacity in entries")
+	maxConc := flag.Int("max-concurrent", 0, "simultaneous simulations (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline")
+	jobs := flag.Int("j", 0, "per-experiment worker-pool width (0 = all CPUs)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.SetPrefix("simd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	s := service.New(service.Config{
+		CacheEntries:   *cache,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+		Parallelism:    *jobs,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (cache %d entries, timeout %s)", *addr, *cache, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	validate [-j N] [experiment ...]
+//	validate [-j N] [-list] [experiment ...]
 //
 // With no experiment arguments it runs everything in paper order;
-// otherwise it runs only the named experiments (table1, table2,
-// sampling, memcal, table3, table4, table5, figure2, mapping).
+// otherwise it runs only the named experiments. -list prints the
+// experiment registry (shared with the simd service) and exits.
 //
 // -j sets how many simulation cells run concurrently (default: all
 // CPUs). Output is byte-identical at every -j because results are
@@ -30,24 +30,25 @@ import (
 
 func main() {
 	jobs := flag.Int("j", 0, "concurrent simulation cells (0 = all CPUs)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: validate [-j N] [experiment ...]\n")
+			"usage: validate [-j N] [-list] [experiment ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	opt := validate.Options{Parallelism: *jobs}
-	var suite runner.Suite
-	suite.Add("table1", func() (fmt.Stringer, error) { return validate.Table1(opt) })
-	suite.Add("table2", func() (fmt.Stringer, error) { return validate.Table2(opt) })
-	suite.Add("sampling", func() (fmt.Stringer, error) { return validate.SamplingStudy(opt) })
-	suite.Add("memcal", func() (fmt.Stringer, error) { return validate.MemoryCalibration(opt) })
-	suite.Add("table3", func() (fmt.Stringer, error) { return validate.Table3(opt) })
-	suite.Add("table4", func() (fmt.Stringer, error) { return validate.Table4(opt) })
-	suite.Add("table5", func() (fmt.Stringer, error) { return validate.Table5(opt) })
-	suite.Add("figure2", func() (fmt.Stringer, error) { return validate.Figure2(opt) })
-	suite.Add("mapping", func() (fmt.Stringer, error) { return validate.MappingStudy(opt) })
+	if *list {
+		for _, e := range validate.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	// The suite comes from the same registry the simd service routes
+	// /v1/experiment/{name} through, so the two can never disagree
+	// about which experiments exist.
+	suite := validate.NewSuite(validate.Options{Parallelism: *jobs})
 
 	selected := flag.Args()
 	for _, name := range selected {

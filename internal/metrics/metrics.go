@@ -1,0 +1,287 @@
+// Package metrics is a dependency-free counter/gauge/histogram
+// registry for the simulation service. It exposes an expvar-style
+// text format (one "name value" line per series, Prometheus-shaped
+// histogram lines) and a JSON rendering of the same data, so the
+// daemon's /metrics endpoint can feed both a human's curl and a
+// scraper without importing anything beyond the standard library.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefLatencyBuckets are upper bounds in seconds suited to request
+// latencies that span a cache hit (~µs) to a full experiment (~min).
+var DefLatencyBuckets = []float64{
+	.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60, 120,
+}
+
+// Histogram counts observations into fixed upper-bound buckets, plus
+// a +Inf overflow, tracking total count and sum.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds
+	counts []uint64  // len(bounds)+1; last is +Inf
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x
+	h.counts[i]++
+	h.count++
+	h.sum += x
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+// Buckets holds cumulative counts per upper bound; the implicit +Inf
+// bucket equals Count.
+type HistogramSnapshot struct {
+	Count   uint64             `json:"count"`
+	Sum     float64            `json:"sum"`
+	Buckets map[string]uint64  `json:"buckets"`
+	bounds  []float64
+	cumul   []uint64
+}
+
+// Snapshot returns a consistent copy.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Buckets: make(map[string]uint64, len(h.bounds)+1),
+		bounds:  h.bounds,
+		cumul:   make([]uint64, len(h.bounds)+1),
+	}
+	var running uint64
+	for i, c := range h.counts {
+		running += c
+		s.cumul[i] = running
+		s.Buckets[bucketLabel(h.bounds, i)] = running
+	}
+	return s
+}
+
+func bucketLabel(bounds []float64, i int) string {
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bounds[i], 'g', -1, 64)
+}
+
+// Registry owns named series. Lookups are get-or-create, so callers
+// can address a series by name at the use site without a shared
+// declaration; a name is bound to its first-seen kind.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on
+// first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the bounds on first use (later bounds are ignored; the first
+// registration wins). Non-finite and unsorted bounds are sanitized.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := make([]float64, 0, len(bounds))
+		for _, b := range bounds {
+			if !math.IsInf(b, 0) && !math.IsNaN(b) {
+				bs = append(bs, b)
+			}
+		}
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText renders every series in name order, one line per value:
+//
+//	cache_hits_total 42
+//	request_seconds_count 17
+//	request_seconds_sum 1.23
+//	request_seconds_bucket{le="0.005"} 9
+func (r *Registry) WriteText(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
+	names := make([]string, 0, len(counters)+len(gauges)+len(hists))
+	for n := range counters {
+		names = append(names, n)
+	}
+	for n := range gauges {
+		names = append(names, n)
+	}
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		switch {
+		case counters[n] != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, counters[n].Value()); err != nil {
+				return err
+			}
+		case gauges[n] != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, gauges[n].Value()); err != nil {
+				return err
+			}
+		default:
+			s := hists[n].Snapshot()
+			if _, err := fmt.Fprintf(w, "%s_count %d\n%s_sum %s\n",
+				n, s.Count, n, strconv.FormatFloat(s.Sum, 'g', -1, 64)); err != nil {
+				return err
+			}
+			for i := range s.cumul {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+					n, bucketLabel(s.bounds, i), s.cumul[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders the registry as one flat object: counters and
+// gauges as numbers, histograms as {count, sum, buckets} objects.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	counters, gauges, hists := r.snapshot()
+	out := make(map[string]any, len(counters)+len(gauges)+len(hists))
+	for n, c := range counters {
+		out[n] = c.Value()
+	}
+	for n, g := range gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range hists {
+		out[n] = h.Snapshot()
+	}
+	return json.Marshal(out)
+}
+
+func (r *Registry) snapshot() (map[string]*Counter, map[string]*Gauge, map[string]*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		cs[n] = c
+	}
+	gs := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gs[n] = g
+	}
+	hs := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hs[n] = h
+	}
+	return cs, gs, hs
+}
+
+// Handler serves the registry: text by default, JSON when the
+// request asks for it (?format=json or an Accept header preferring
+// application/json).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			b, err := r.MarshalJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(b)
+			w.Write([]byte("\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func wantJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}

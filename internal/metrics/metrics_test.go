@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same counter name returned distinct instances")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same gauge name returned distinct instances")
+	}
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", []float64{2}) {
+		t.Fatal("same histogram name returned distinct instances")
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("reqs").Inc()
+				r.Gauge("busy").Add(1)
+				r.Gauge("busy").Add(-1)
+				r.Histogram("lat", DefLatencyBuckets).Observe(0.002)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("reqs").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("busy").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("lat", nil).Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, x := range []float64{0.001, 0.05, 0.05, 0.5, 7} {
+		h.Observe(x)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	// Cumulative: ≤0.01 → 1, ≤0.1 → 3, ≤1 → 4, +Inf → 5.
+	for label, want := range map[string]uint64{"0.01": 1, "0.1": 3, "1": 4, "+Inf": 5} {
+		if got := s.Buckets[label]; got != want {
+			t.Errorf("bucket %q = %d, want %d", label, got, want)
+		}
+	}
+	if s.Sum < 7.6 || s.Sum > 7.7 {
+		t.Errorf("sum = %g, want ≈7.601", s.Sum)
+	}
+}
+
+func TestTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache_hits_total").Add(3)
+	r.Gauge("pool_busy").Set(2)
+	r.Histogram("request_seconds", []float64{0.5}).Observe(0.1)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"cache_hits_total 3\n",
+		"pool_busy 2\n",
+		"request_seconds_count 1\n",
+		`request_seconds_bucket{le="0.5"} 1` + "\n",
+		`request_seconds_bucket{le="+Inf"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cells_simulated_total").Add(21)
+	r.Gauge("pool_capacity").Set(8)
+	r.Histogram("request_seconds", DefLatencyBuckets).Observe(0.25)
+
+	b, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("invalid JSON %s: %v", b, err)
+	}
+	if string(m["cells_simulated_total"]) != "21" {
+		t.Errorf("cells_simulated_total = %s, want 21", m["cells_simulated_total"])
+	}
+	var h struct {
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(m["request_seconds"], &h); err != nil || h.Count != 1 {
+		t.Errorf("request_seconds = %s (err %v), want count 1", m["request_seconds"], err)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Inc()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default Content-Type = %q, want text/plain", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "requests_total 1") {
+		t.Errorf("text body = %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("json body invalid: %v", err)
+	}
+}

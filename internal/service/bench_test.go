@@ -1,0 +1,68 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchGet runs one request and fails the benchmark on a non-200.
+func benchGet(b *testing.B, url string) {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s = %d: %s", url, resp.StatusCode, body)
+	}
+}
+
+func newBenchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	s := New(Config{CacheEntries: 1 << 16, RequestTimeout: 5 * time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// BenchmarkRunCold measures the serving path with a guaranteed cache
+// miss per iteration (the limit varies, so every key is fresh):
+// HTTP + dispatch + one real 10K-instruction simulation.
+func BenchmarkRunCold(b *testing.B) {
+	ts := newBenchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, fmt.Sprintf("%s/v1/run?machine=sim-alpha&workload=C-Ca&limit=%d", ts.URL, 10_000+i))
+	}
+}
+
+// BenchmarkRunCached measures the same request served from the
+// content-addressed cache; the cold/cached ratio is the serving
+// layer's headline number.
+func BenchmarkRunCached(b *testing.B) {
+	ts := newBenchServer(b)
+	url := ts.URL + "/v1/run?machine=sim-alpha&workload=C-Ca&limit=10000"
+	benchGet(b, url) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, url)
+	}
+}
+
+// BenchmarkExperimentCached measures a full cached experiment table
+// served over HTTP (the cold render happens once, outside the timer).
+func BenchmarkExperimentCached(b *testing.B) {
+	ts := newBenchServer(b)
+	url := ts.URL + "/v1/experiment/table2?limit=2000"
+	benchGet(b, url)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, url)
+	}
+}

@@ -1,0 +1,519 @@
+// Package service is the simulation-as-a-service layer: an HTTP JSON
+// API over the machine models, workload suites, and experiment
+// registry. Every deterministic simulation result is content-
+// addressed in an LRU cache (internal/simcache), so each (machine ×
+// workload × budget) cell is computed once and served many times;
+// concurrent identical requests collapse onto one computation.
+//
+// Routes:
+//
+//	GET /v1/run?machine=M&workload=W[&limit=N]   one simulation cell (JSON)
+//	GET /v1/experiment/{name}[?limit=N]          one paper experiment (text table)
+//	GET /v1/machines                             registered machine models
+//	GET /v1/workloads                            registered workloads
+//	GET /healthz                                 liveness
+//	GET /metrics                                 text or ?format=json
+//
+// Cache status travels in headers (X-Simcache: hit|miss and
+// X-Simcache-Key), never in the body, so a cached response body is
+// byte-identical to the cold one.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/dcpi"
+	"repro/internal/inorder"
+	"repro/internal/macrobench"
+	"repro/internal/metrics"
+	"repro/internal/microbench"
+	"repro/internal/native"
+	"repro/internal/ruu"
+	"repro/internal/simcache"
+	"repro/internal/validate"
+)
+
+// MachineSpec registers one machine model with the service. Config
+// is the value the cache key is derived from: two specs with equal
+// Config fingerprints are interchangeable to the cache.
+type MachineSpec struct {
+	Name        string
+	Description string
+	Config      any
+	New         func() core.Machine
+}
+
+// nativeIdentity is what content-addresses the reference machine: its
+// full-fidelity model config plus the DCPI profiler operating point.
+type nativeIdentity struct {
+	Model alpha.Config
+	Prof  dcpi.Config
+}
+
+// DefaultMachines returns every machine model in the repository,
+// reference machine first, then the simulators in fidelity order.
+func DefaultMachines() []MachineSpec {
+	return []MachineSpec{
+		{
+			Name:        "native-ds10l",
+			Description: "reference DS-10L measured through the DCPI profiler emulation",
+			Config:      nativeIdentity{Model: alpha.NativeConfig(), Prof: dcpi.DefaultConfig()},
+			New:         func() core.Machine { return native.New() },
+		},
+		{
+			Name:        "sim-initial",
+			Description: "unvalidated first simulator version (full bug catalogue)",
+			Config:      alpha.SimInitial(),
+			New:         func() core.Machine { return alpha.New(alpha.SimInitial()) },
+		},
+		{
+			Name:        "sim-alpha",
+			Description: "validated 21264 model (the paper's calibrated simulator)",
+			Config:      alpha.DefaultConfig(),
+			New:         func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
+		},
+		{
+			Name:        "sim-stripped",
+			Description: "sim-alpha with the Section 5.1 features and constraints removed",
+			Config:      alpha.SimStripped(),
+			New:         func() core.Machine { return alpha.New(alpha.SimStripped()) },
+		},
+		{
+			Name:        "sim-outorder",
+			Description: "SimpleScalar-style RUU/LSQ out-of-order model",
+			Config:      ruu.DefaultConfig(),
+			New:         func() core.Machine { return ruu.New(ruu.DefaultConfig()) },
+		},
+		{
+			Name:        "sim-inorder",
+			Description: "in-order pipeline with DS-10L-like caches",
+			Config:      inorder.DefaultConfig(),
+			New:         func() core.Machine { return inorder.New(inorder.DefaultConfig()) },
+		},
+	}
+}
+
+// workloadSpec is one addressable workload with its catalogue entry.
+type workloadSpec struct {
+	w     core.Workload
+	suite string // "micro", "macro", "calibration"
+}
+
+// defaultWorkloads catalogues the 21 microbenchmarks, the two
+// calibration workloads, and the ten macrobenchmarks, by name.
+func defaultWorkloads() ([]string, map[string]workloadSpec) {
+	var order []string
+	byName := make(map[string]workloadSpec)
+	add := func(w core.Workload, suite string) {
+		if _, dup := byName[w.Name]; dup {
+			return
+		}
+		order = append(order, w.Name)
+		byName[w.Name] = workloadSpec{w: w, suite: suite}
+	}
+	for _, w := range microbench.Suite() {
+		add(w, "micro")
+	}
+	for _, w := range microbench.Calibration() {
+		add(w, "calibration")
+	}
+	for _, w := range macrobench.Suite() {
+		add(w, "macro")
+	}
+	return order, byName
+}
+
+// Config tunes a Server. The zero value serves every machine and
+// workload with sensible bounds.
+type Config struct {
+	// CacheEntries bounds the result cache (0 = simcache default).
+	CacheEntries int
+	// MaxConcurrent bounds simultaneous simulations across all
+	// requests (0 = GOMAXPROCS). Requests beyond the bound queue.
+	MaxConcurrent int
+	// RequestTimeout caps each request's wall time (0 = 2 minutes).
+	// A timed-out request returns 504 while its simulation finishes
+	// in the background and populates the cache for the retry.
+	RequestTimeout time.Duration
+	// Parallelism is the per-experiment worker-pool width
+	// (0 = GOMAXPROCS). It never enters cache keys: rendered output
+	// is byte-identical at every setting.
+	Parallelism int
+	// Machines overrides the served machine list (nil = DefaultMachines).
+	Machines []MachineSpec
+}
+
+// Server implements the simulation service. Create with New, mount
+// with Handler.
+type Server struct {
+	cfg       Config
+	cache     *simcache.Cache
+	metrics   *metrics.Registry
+	machines  []MachineSpec
+	byMachine map[string]MachineSpec
+	wlOrder   []string
+	byWork    map[string]workloadSpec
+	sem       chan struct{}
+	latency   *metrics.Histogram
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	machines := cfg.Machines
+	if machines == nil {
+		machines = DefaultMachines()
+	}
+	byMachine := make(map[string]MachineSpec, len(machines))
+	for _, m := range machines {
+		byMachine[m.Name] = m
+	}
+	order, byWork := defaultWorkloads()
+	s := &Server{
+		cfg:       cfg,
+		cache:     simcache.New(cfg.CacheEntries),
+		metrics:   metrics.NewRegistry(),
+		machines:  machines,
+		byMachine: byMachine,
+		wlOrder:   order,
+		byWork:    byWork,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.latency = s.metrics.Histogram("request_seconds", metrics.DefLatencyBuckets)
+	s.metrics.Gauge("pool_capacity").Set(int64(cfg.MaxConcurrent))
+	return s
+}
+
+// Metrics exposes the server's registry (for embedding callers).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Handler returns the service's routed handler with the metrics and
+// recovery middleware applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.metricsHandler())
+	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/experiment/{name}", s.handleExperiment)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with request counting, latency
+// observation, and panic recovery.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.Counter("requests_total").Inc()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.Counter("request_panics_total").Inc()
+				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+			s.latency.Observe(time.Since(start).Seconds())
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// metricsHandler refreshes the cache/pool gauges from their sources
+// of truth on every scrape, then serves the registry.
+func (s *Server) metricsHandler() http.Handler {
+	inner := s.metrics.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := s.cache.Stats()
+		s.metrics.Gauge("cache_entries").Set(int64(st.Entries))
+		s.metrics.Gauge("cache_capacity").Set(int64(st.Capacity))
+		s.metrics.Gauge("cache_inflight").Set(int64(st.InFlight))
+		s.metrics.Gauge("pool_busy").Set(int64(len(s.sem)))
+		// Mirror the cache's own accounting: hits here include
+		// requests served by joining an in-flight computation, since
+		// neither ran a simulation of its own.
+		hits := st.Hits + st.Waits
+		c := s.metrics.Counter("cache_hits_total")
+		if d := hits - c.Value(); d > 0 {
+			c.Add(d)
+		}
+		m := s.metrics.Counter("cache_misses_total")
+		if d := st.Misses - m.Value(); d > 0 {
+			m.Add(d)
+		}
+		e := s.metrics.Counter("cache_evictions_total")
+		if d := st.Evictions - e.Value(); d > 0 {
+			e.Add(d)
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+type machineInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
+	out := make([]machineInfo, 0, len(s.machines))
+	for _, m := range s.machines {
+		out = append(out, machineInfo{
+			Name:        m.Name,
+			Description: m.Description,
+			Fingerprint: simcache.KeyOf("machine", simcache.Fingerprint(m.Config)).String()[:12],
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type workloadInfo struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Suite    string `json:"suite"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	out := make([]workloadInfo, 0, len(s.wlOrder))
+	for _, name := range s.wlOrder {
+		spec := s.byWork[name]
+		out = append(out, workloadInfo{Name: name, Category: spec.w.Category, Suite: spec.suite})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runParams is the input of /v1/run, from query params (GET) or a
+// JSON body (POST).
+type runParams struct {
+	Machine  string `json:"machine"`
+	Workload string `json:"workload"`
+	Limit    uint64 `json:"limit"`
+}
+
+// RunResponse is the JSON body of /v1/run. These bytes are what the
+// cache stores, so a hit is byte-identical to the cold computation.
+type RunResponse struct {
+	Machine      string            `json:"machine"`
+	Workload     string            `json:"workload"`
+	Limit        uint64            `json:"limit,omitempty"`
+	Instructions uint64            `json:"instructions"`
+	Cycles       uint64            `json:"cycles"`
+	IPC          float64           `json:"ipc"`
+	CPI          float64           `json:"cpi"`
+	Counters     map[string]uint64 `json:"counters,omitempty"`
+	Key          string            `json:"key"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var p runParams
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			s.fail(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+			return
+		}
+	} else {
+		q := r.URL.Query()
+		p.Machine = q.Get("machine")
+		p.Workload = q.Get("workload")
+		if lim := q.Get("limit"); lim != "" {
+			n, err := strconv.ParseUint(lim, 10, 64)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "invalid limit %q: %v", lim, err)
+				return
+			}
+			p.Limit = n
+		}
+	}
+	if p.Machine == "" || p.Workload == "" {
+		s.fail(w, http.StatusBadRequest, "machine and workload are required")
+		return
+	}
+	spec, ok := s.byMachine[p.Machine]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown machine %q (have: %s)",
+			p.Machine, strings.Join(s.machineNames(), ", "))
+		return
+	}
+	wl, ok := s.byWork[p.Workload]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown workload %q (see /v1/workloads)", p.Workload)
+		return
+	}
+
+	// The content address: machine config (canonical fingerprint),
+	// workload identity and budget, and the request's own limit.
+	work := wl.w
+	if p.Limit > 0 && (work.MaxInstructions == 0 || work.MaxInstructions > p.Limit) {
+		work.MaxInstructions = p.Limit
+	}
+	key := simcache.KeyOf(
+		"run/v1",
+		simcache.Fingerprint(spec.Config),
+		simcache.Fingerprint(struct {
+			Name        string
+			FastForward uint64
+			Max         uint64
+			Category    string
+		}{work.Name, work.FastForward, work.MaxInstructions, work.Category}),
+	)
+
+	s.serveCached(w, r, key, func() ([]byte, error) {
+		s.acquire()
+		defer s.release()
+		s.metrics.Counter("cells_simulated_total").Inc()
+		res, err := spec.New().Run(work)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(RunResponse{
+			Machine:      res.Machine,
+			Workload:     res.Workload,
+			Limit:        p.Limit,
+			Instructions: res.Instructions,
+			Cycles:       res.Cycles,
+			IPC:          res.IPC(),
+			CPI:          res.CPI(),
+			Counters:     res.Counters,
+			Key:          key.String(),
+		})
+	}, "application/json")
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	exp, ok := validate.ExperimentByName(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown experiment %q (have: %s)",
+			name, strings.Join(validate.ExperimentNames(), ", "))
+		return
+	}
+	var limit uint64
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		n, err := strconv.ParseUint(lim, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "invalid limit %q: %v", lim, err)
+			return
+		}
+		limit = n
+	}
+
+	// Parallelism is deliberately absent from the key: experiment
+	// output is byte-identical at every worker count.
+	key := simcache.KeyOf("experiment/v1", name, strconv.FormatUint(limit, 10))
+	s.serveCached(w, r, key, func() ([]byte, error) {
+		s.acquire()
+		defer s.release()
+		s.metrics.Counter("experiments_run_total").Inc()
+		out, err := exp.Run(validate.Options{Limit: limit, Parallelism: s.cfg.Parallelism})
+		if err != nil {
+			return nil, err
+		}
+		return []byte(out.String()), nil
+	}, "text/plain; charset=utf-8")
+}
+
+// serveCached answers the request from the cache, computing (and
+// caching) on miss. The response body is exactly the cached bytes;
+// cache status rides in headers. If the request deadline expires
+// first, the computation keeps running so the retry hits.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key simcache.Key, compute func() ([]byte, error), contentType string) {
+	type outcome struct {
+		body   []byte
+		cached bool
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		body, cached, err := s.cache.GetOrCompute(key, compute)
+		done <- outcome{body, cached, err}
+	}()
+
+	timeout := time.NewTimer(s.cfg.RequestTimeout)
+	defer timeout.Stop()
+	select {
+	case <-r.Context().Done():
+		s.metrics.Counter("request_cancels_total").Inc()
+		return // client went away; the computation still populates the cache
+	case <-timeout.C:
+		s.metrics.Counter("request_timeouts_total").Inc()
+		s.fail(w, http.StatusGatewayTimeout,
+			"deadline exceeded after %s; the result is still being computed, retry to hit the cache",
+			s.cfg.RequestTimeout)
+		return
+	case o := <-done:
+		if o.err != nil {
+			s.metrics.Counter("simulation_errors_total").Inc()
+			s.fail(w, http.StatusInternalServerError, "simulation failed: %v", o.err)
+			return
+		}
+		if o.cached {
+			s.metrics.Counter("served_from_cache_total").Inc()
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set("X-Simcache-Key", key.String())
+		w.Header().Set("X-Simcache", cacheStatus(o.cached))
+		w.Write(o.body)
+	}
+}
+
+func cacheStatus(cached bool) string {
+	if cached {
+		return "hit"
+	}
+	return "miss"
+}
+
+// acquire blocks until a simulation slot is free, counting waiters.
+func (s *Server) acquire() {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.metrics.Counter("pool_wait_total").Inc()
+		s.sem <- struct{}{}
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+func (s *Server) machineNames() []string {
+	names := make([]string, 0, len(s.byMachine))
+	for _, m := range s.machines {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.metrics.Counter("request_errors_total").Inc()
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,320 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/validate"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		CacheEntries:   64,
+		MaxConcurrent:  4,
+		RequestTimeout: 60 * time.Second,
+		Parallelism:    2,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, _, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestMachinesAndWorkloads(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, _, body := get(t, ts.URL+"/v1/machines")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/machines = %d: %s", code, body)
+	}
+	var machines []machineInfo
+	if err := json.Unmarshal(body, &machines); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]machineInfo)
+	for _, m := range machines {
+		names[m.Name] = m
+	}
+	for _, want := range []string{"native-ds10l", "sim-initial", "sim-alpha", "sim-outorder", "sim-inorder"} {
+		m, ok := names[want]
+		if !ok {
+			t.Errorf("machine %q missing from /v1/machines", want)
+			continue
+		}
+		if m.Fingerprint == "" || m.Description == "" {
+			t.Errorf("machine %q lacks fingerprint or description: %+v", want, m)
+		}
+	}
+	if names["sim-alpha"].Fingerprint == names["sim-initial"].Fingerprint {
+		t.Error("sim-alpha and sim-initial share a config fingerprint")
+	}
+
+	code, _, body = get(t, ts.URL+"/v1/workloads")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/workloads = %d: %s", code, body)
+	}
+	var workloads []workloadInfo
+	if err := json.Unmarshal(body, &workloads); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]string)
+	for _, w := range workloads {
+		got[w.Name] = w.Suite
+	}
+	for name, suite := range map[string]string{"C-Ca": "micro", "gzip": "macro", "stream": "calibration"} {
+		if got[name] != suite {
+			t.Errorf("workload %q suite = %q, want %q", name, got[name], suite)
+		}
+	}
+}
+
+// TestRunSingleflightAndCache is the PR's acceptance criterion: two
+// identical concurrent /v1/run requests perform exactly one
+// simulation, the cached body is byte-identical to the cold one, and
+// /metrics reports a non-zero hit count afterwards.
+func TestRunSingleflightAndCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	url := ts.URL + "/v1/run?machine=sim-alpha&workload=C-Ca&limit=5000"
+
+	const concurrent = 2
+	var wg sync.WaitGroup
+	bodies := make([][]byte, concurrent)
+	codes := make([]int, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < concurrent; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d = %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("concurrent responses differ:\n%s\n%s", bodies[0], bodies[i])
+		}
+	}
+
+	// A third, definitely-cached request must be byte-identical.
+	code, hdr, warm := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("warm request = %d: %s", code, warm)
+	}
+	if hdr.Get("X-Simcache") != "hit" {
+		t.Fatalf("warm X-Simcache = %q, want hit", hdr.Get("X-Simcache"))
+	}
+	if !bytes.Equal(warm, bodies[0]) {
+		t.Fatalf("cached body differs from cold body:\n%s\n%s", bodies[0], warm)
+	}
+
+	var rr RunResponse
+	if err := json.Unmarshal(warm, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.CPI <= 0 {
+		t.Errorf("cpi = %v, want > 0", rr.CPI)
+	}
+	if rr.Machine != "sim-alpha" || rr.Workload != "C-Ca" {
+		t.Errorf("response identity = %s/%s", rr.Machine, rr.Workload)
+	}
+	if rr.Key != hdr.Get("X-Simcache-Key") {
+		t.Errorf("body key %q != header key %q", rr.Key, hdr.Get("X-Simcache-Key"))
+	}
+
+	// Exactly one simulation ran, and the cache reports hits.
+	code, _, body := get(t, ts.URL+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(m["cells_simulated_total"]); got != "1" {
+		t.Errorf("cells_simulated_total = %s, want 1 (singleflight broken)", got)
+	}
+	var hits uint64
+	if err := json.Unmarshal(m["cache_hits_total"], &hits); err != nil || hits == 0 {
+		t.Errorf("cache_hits_total = %s (err %v), want non-zero", m["cache_hits_total"], err)
+	}
+}
+
+// TestRunDistinctKeysAreDistinctCells checks the content address
+// separates machines and limits.
+func TestRunDistinctKeysAreDistinctCells(t *testing.T) {
+	_, ts := newTestServer(t)
+	urls := []string{
+		ts.URL + "/v1/run?machine=sim-alpha&workload=C-Ca&limit=3000",
+		ts.URL + "/v1/run?machine=sim-outorder&workload=C-Ca&limit=3000",
+		ts.URL + "/v1/run?machine=sim-alpha&workload=C-Ca&limit=4000",
+	}
+	keys := make(map[string]bool)
+	for _, u := range urls {
+		code, hdr, body := get(t, u)
+		if code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", u, code, body)
+		}
+		keys[hdr.Get("X-Simcache-Key")] = true
+	}
+	if len(keys) != len(urls) {
+		t.Fatalf("got %d distinct keys for %d distinct requests", len(keys), len(urls))
+	}
+}
+
+func TestRunPost(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"machine":"sim-inorder","workload":"E-I","limit":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/run = %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Instructions == 0 || rr.Cycles == 0 {
+		t.Errorf("empty result: %+v", rr)
+	}
+}
+
+// TestExperimentMatchesValidate requires /v1/experiment/{name} to
+// serve exactly what cmd/validate renders for the same options.
+func TestExperimentMatchesValidate(t *testing.T) {
+	_, ts := newTestServer(t)
+	const limit = 2000
+
+	code, hdr, cold := get(t, fmt.Sprintf("%s/v1/experiment/table2?limit=%d", ts.URL, limit))
+	if code != http.StatusOK {
+		t.Fatalf("/v1/experiment/table2 = %d: %s", code, cold)
+	}
+	if hdr.Get("X-Simcache") != "miss" {
+		t.Errorf("cold X-Simcache = %q, want miss", hdr.Get("X-Simcache"))
+	}
+
+	want, err := validate.Table2(validate.Options{Limit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cold) != want.String() {
+		t.Errorf("served table2 differs from validate.Table2:\n--- served ---\n%s--- direct ---\n%s", cold, want)
+	}
+
+	code, hdr, warm := get(t, fmt.Sprintf("%s/v1/experiment/table2?limit=%d", ts.URL, limit))
+	if code != http.StatusOK || hdr.Get("X-Simcache") != "hit" {
+		t.Fatalf("warm = %d, X-Simcache = %q", code, hdr.Get("X-Simcache"))
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("cached experiment differs from cold render")
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		url  string
+		code int
+		want string
+	}{
+		{"/v1/run?machine=sim-alpha", http.StatusBadRequest, "required"},
+		{"/v1/run?machine=nope&workload=C-Ca", http.StatusNotFound, "unknown machine"},
+		{"/v1/run?machine=sim-alpha&workload=nope", http.StatusNotFound, "unknown workload"},
+		{"/v1/run?machine=sim-alpha&workload=C-Ca&limit=abc", http.StatusBadRequest, "invalid limit"},
+		{"/v1/experiment/table9", http.StatusNotFound, "unknown experiment"},
+		{"/v1/experiment/table2?limit=x", http.StatusBadRequest, "invalid limit"},
+	}
+	for _, c := range cases {
+		code, _, body := get(t, ts.URL+c.url)
+		if code != c.code {
+			t.Errorf("%s = %d, want %d (%s)", c.url, code, c.code, body)
+			continue
+		}
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, c.want) {
+			t.Errorf("%s error body = %q, want substring %q", c.url, body, c.want)
+		}
+	}
+	// Unknown machine errors must name the valid ones.
+	_, _, body := get(t, ts.URL+"/v1/run?machine=nope&workload=C-Ca")
+	if !strings.Contains(string(body), "sim-alpha") {
+		t.Errorf("unknown-machine error does not list machines: %s", body)
+	}
+}
+
+// TestTimeout pins the 504 path: an expired deadline answers
+// immediately while the simulation continues into the cache.
+func TestTimeout(t *testing.T) {
+	s := New(Config{RequestTimeout: time.Nanosecond, MaxConcurrent: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/run?machine=sim-alpha&workload=C-Ca&limit=200000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsTextFormat(t *testing.T) {
+	_, ts := newTestServer(t)
+	get(t, ts.URL+"/v1/run?machine=sim-inorder&workload=C-Ca&limit=2000")
+	code, hdr, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain") {
+		t.Errorf("Content-Type = %q", hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{"requests_total ", "cells_simulated_total 1", "pool_capacity 4", "request_seconds_count"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics text missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// Experiment is one named, addressable experiment: the unit shared
+// by cmd/validate, the HTTP service, and anything else that needs to
+// run "table2" by name. Run regenerates the experiment under the
+// given options and returns its rendered result.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Options) (fmt.Stringer, error)
+}
+
+// registry lists every experiment in paper order. This is the single
+// source of truth: cmd/validate's suite, the service's
+// /v1/experiment/{name} routes, and probe's listings all come from
+// here, so a new experiment added to this table is immediately
+// addressable everywhere.
+var registry = []Experiment{
+	{"table1", "Instruction-latency conformance (Table 1)",
+		func(o Options) (fmt.Stringer, error) { return Table1(o) }},
+	{"table2", "Microbenchmark validation (Table 2)",
+		func(o Options) (fmt.Stringer, error) { return Table2(o) }},
+	{"sampling", "DCPI sampling-interval trade-off (Section 4.1)",
+		func(o Options) (fmt.Stringer, error) { return SamplingStudy(o) }},
+	{"memcal", "Memory-system calibration (Section 4.2)",
+		func(o Options) (fmt.Stringer, error) { return MemoryCalibration(o) }},
+	{"table3", "Macrobenchmark validation (Table 3)",
+		func(o Options) (fmt.Stringer, error) { return Table3(o) }},
+	{"table4", "Performance-feature ablation (Table 4)",
+		func(o Options) (fmt.Stringer, error) { return Table4(o) }},
+	{"table5", "Error-stability across configurations (Table 5)",
+		func(o Options) (fmt.Stringer, error) { return Table5(o) }},
+	{"figure2", "Register-file sensitivity study (Figure 2)",
+		func(o Options) (fmt.Stringer, error) { return Figure2(o) }},
+	{"mapping", "Page-mapping policy study (Section 6)",
+		func(o Options) (fmt.Stringer, error) { return MappingStudy(o) }},
+}
+
+// Experiments returns every registered experiment in paper order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ExperimentNames returns the registered names in paper order.
+func ExperimentNames() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// ExperimentByName returns one registered experiment.
+func ExperimentByName(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// NewSuite assembles the full registry into a runner.Suite bound to
+// the options, ready for cmd/validate-style sequential execution.
+func NewSuite(opt Options) *runner.Suite {
+	var s runner.Suite
+	for _, e := range registry {
+		run := e.Run
+		s.Add(e.Name, func() (fmt.Stringer, error) { return run(opt) })
+	}
+	return &s
+}

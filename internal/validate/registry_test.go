@@ -1,0 +1,73 @@
+package validate
+
+import "testing"
+
+// TestRegistryComplete pins the registry to the paper-order list the
+// golden tests cover, so an experiment added to the codebase without
+// a registry entry (or vice versa) fails loudly.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "sampling", "memcal",
+		"table3", "table4", "table5", "figure2", "mapping",
+	}
+	got := ExperimentNames()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, name := range want {
+		e, ok := ExperimentByName(name)
+		if !ok {
+			t.Errorf("ExperimentByName(%q) missing", name)
+			continue
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q lacks a title or runner", name)
+		}
+	}
+	if _, ok := ExperimentByName("table9"); ok {
+		t.Error("ExperimentByName invented an experiment")
+	}
+}
+
+// TestNewSuiteMatchesRegistry checks the suite cmd/validate executes
+// is exactly the registry, in order.
+func TestNewSuiteMatchesRegistry(t *testing.T) {
+	s := NewSuite(Options{Limit: 1000})
+	names := s.Names()
+	want := ExperimentNames()
+	if len(names) != len(want) {
+		t.Fatalf("suite has %d experiments, registry has %d", len(names), len(want))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("suite[%d] = %q, registry[%d] = %q", i, names[i], i, want[i])
+		}
+	}
+}
+
+// TestRegistryRunMatchesDirectCall runs one experiment through the
+// registry indirection and requires byte-identical output to the
+// direct call — the property the HTTP service's cache relies on.
+func TestRegistryRunMatchesDirectCall(t *testing.T) {
+	opt := Options{Limit: 2_000}
+	e, ok := ExperimentByName("table2")
+	if !ok {
+		t.Fatal("table2 missing from registry")
+	}
+	viaRegistry, err := e.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Table2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRegistry.String() != direct.String() {
+		t.Error("registry run differs from direct Table2 call")
+	}
+}
