@@ -6,16 +6,22 @@
 //
 // Commands:
 //
-//	run [-m machine] [-limit N] workload...   simulate cells, print a result table
-//	experiment name...                        print experiment tables (as cmd/validate)
+//	run [-m machine] [-limit N] [-json] [-breakdown] workload...
+//	                                          simulate cells, print a result table
+//	experiment [-json] name...                print experiment tables (as cmd/validate)
 //	machines                                  list served machine models
 //	workloads                                 list served workloads
 //	health                                    check /healthz
 //	metrics                                   dump /metrics
 //
+// -json switches run/experiment output to machine-readable JSON (one
+// object per line); pretty text stays the default. -breakdown adds
+// each run's CPI stack to the text table.
+//
 // Examples:
 //
 //	probe -addr :8080 run -m sim-alpha gzip
+//	probe run -breakdown -m sim-alpha M-M
 //	probe experiment table2
 package main
 
@@ -29,14 +35,17 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"repro/internal/events"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: probe [-addr host:port] <command> [args]
 
 commands:
-  run [-m machine] [-limit N] workload...   simulate cells, print a result table
-  experiment name...                        print experiment tables (as cmd/validate)
+  run [-m machine] [-limit N] [-json] [-breakdown] workload...
+                                            simulate cells, print a result table
+  experiment [-json] name...                print experiment tables (as cmd/validate)
   machines                                  list served machine models
   workloads                                 list served workloads
   health                                    check /healthz
@@ -76,12 +85,13 @@ func (c *client) get(path string) ([]byte, string, error) {
 
 // runResponse mirrors service.RunResponse.
 type runResponse struct {
-	Machine      string  `json:"machine"`
-	Workload     string  `json:"workload"`
-	Instructions uint64  `json:"instructions"`
-	Cycles       uint64  `json:"cycles"`
-	IPC          float64 `json:"ipc"`
-	CPI          float64 `json:"cpi"`
+	Machine      string        `json:"machine"`
+	Workload     string        `json:"workload"`
+	Instructions uint64        `json:"instructions"`
+	Cycles       uint64        `json:"cycles"`
+	IPC          float64       `json:"ipc"`
+	CPI          float64       `json:"cpi"`
+	Breakdown    *events.Stack `json:"breakdown"`
 }
 
 func main() {
@@ -130,13 +140,17 @@ func cmdRun(c *client, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	machine := fs.String("m", "sim-alpha", "machine model")
 	limit := fs.Uint64("limit", 0, "dynamic instruction cap (0 = workload length)")
+	asJSON := fs.Bool("json", false, "print the raw JSON response, one object per line")
+	breakdown := fs.Bool("breakdown", false, "print each run's CPI stack under its row")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("run: at least one workload is required")
 	}
 
-	fmt.Printf("%-14s %-10s %12s %12s %7s %7s  %s\n",
-		"machine", "workload", "insts", "cycles", "ipc", "cpi", "cache")
+	if !*asJSON {
+		fmt.Printf("%-14s %-10s %12s %12s %7s %7s  %s\n",
+			"machine", "workload", "insts", "cycles", "ipc", "cpi", "cache")
+	}
 	for _, w := range fs.Args() {
 		q := url.Values{"machine": {*machine}, "workload": {w}}
 		if *limit > 0 {
@@ -146,24 +160,61 @@ func cmdRun(c *client, args []string) error {
 		if err != nil {
 			return fmt.Errorf("run %s: %w", w, err)
 		}
+		if *asJSON {
+			// The service body is already one JSON object; pass it
+			// through untouched so scripts see exactly the cached bytes.
+			fmt.Println(strings.TrimSpace(string(body)))
+			continue
+		}
 		var r runResponse
 		if err := json.Unmarshal(body, &r); err != nil {
 			return fmt.Errorf("run %s: decoding response: %w", w, err)
 		}
 		fmt.Printf("%-14s %-10s %12d %12d %7.3f %7.3f  %s\n",
 			r.Machine, r.Workload, r.Instructions, r.Cycles, r.IPC, r.CPI, status)
+		if *breakdown && r.Breakdown != nil {
+			printBreakdown(r)
+		}
 	}
 	return nil
 }
 
+// printBreakdown renders one run's CPI stack as an indented line of
+// per-component CPI contributions, in canonical component order.
+func printBreakdown(r runResponse) {
+	fmt.Printf("  %-12s", "breakdown")
+	for c := events.Component(0); c < events.NumComponents; c++ {
+		cpi := 0.0
+		if r.Instructions > 0 {
+			cpi = float64(r.Breakdown[c]) / float64(r.Instructions)
+		}
+		fmt.Printf("  %s %.3f", c.Name(), cpi)
+	}
+	fmt.Println()
+}
+
 func cmdExperiment(c *client, args []string) error {
-	if len(args) < 1 {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print JSON objects {name, output} instead of tables")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
 		return fmt.Errorf("experiment: at least one name is required (try: probe experiment table2)")
 	}
-	for _, name := range args {
+	for _, name := range fs.Args() {
 		body, _, err := c.get("/v1/experiment/" + url.PathEscape(name))
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		if *asJSON {
+			out, err := json.Marshal(struct {
+				Name   string `json:"name"`
+				Output string `json:"output"`
+			}{name, string(body)})
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			continue
 		}
 		// Same rendering as cmd/validate: the table, then a blank line.
 		fmt.Println(string(body))

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	validate [-j N] [-list] [experiment ...]
+//	validate [-j N] [-list] [-breakdown] [experiment ...]
 //
 // With no experiment arguments it runs everything in paper order;
 // otherwise it runs only the named experiments. -list prints the
 // experiment registry (shared with the simd service) and exits.
+// -breakdown adds the CPI-breakdown experiment to the selection (with
+// no other selection, it runs alone).
 //
 // -j sets how many simulation cells run concurrently (default: all
 // CPUs). Output is byte-identical at every -j because results are
@@ -31,9 +33,11 @@ import (
 func main() {
 	jobs := flag.Int("j", 0, "concurrent simulation cells (0 = all CPUs)")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	breakdown := flag.Bool("breakdown", false,
+		"run the CPI-breakdown experiment (shorthand for naming 'breakdown')")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: validate [-j N] [-list] [experiment ...]\n")
+			"usage: validate [-j N] [-list] [-breakdown] [experiment ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,6 +55,9 @@ func main() {
 	suite := validate.NewSuite(validate.Options{Parallelism: *jobs})
 
 	selected := flag.Args()
+	if *breakdown && !contains(selected, "breakdown") {
+		selected = append(selected, "breakdown")
+	}
 	for _, name := range selected {
 		if !suite.Has(name) {
 			fmt.Fprintf(os.Stderr, "validate: unknown experiment %q (have: %s)\n",
@@ -75,4 +82,13 @@ func main() {
 			failed, ran, strings.Join(failures, ", "))
 		os.Exit(1)
 	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }

@@ -2,6 +2,7 @@ package alpha
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/events"
 	"repro/internal/isa"
 )
 
@@ -61,8 +62,12 @@ func (s *sim) fetch() {
 	ires, set, actualWay := s.hier.Inst(first.PC, s.cycle)
 	deliverAt := s.cycle + 1
 	nextFetchAt := s.cycle + 1
+	// fetchWhy is the CPI-stack component charged for the gap until the
+	// next fetch; refined below as penalties accumulate.
+	fetchWhy := events.CompFrontend
 	if !ires.L1Hit {
-		s.nIMisses++
+		s.col.Count(events.ICacheMisses, 1)
+		fetchWhy = events.CompICache
 		miss := uint64(ires.Latency)
 		if ires.TLBMiss {
 			w := uint64(ires.WalkCycles)
@@ -70,7 +75,7 @@ func (s *sim) fetch() {
 				w += uint64(s.cfg.PALOverhead)
 			}
 			miss += w
-			s.nTLBMisses++
+			s.col.Count(events.TLBMisses, 1)
 		}
 		deliverAt += miss
 		nextFetchAt += miss
@@ -82,7 +87,8 @@ func (s *sim) fetch() {
 	} else {
 		predWay := s.way.Predict(set)
 		if predWay != actualWay {
-			s.nWayMispredict++
+			s.col.Count(events.WayMispredicts, 1)
+			fetchWhy = events.CompICache
 			bubble := uint64(s.cfg.WayMispredict)
 			if s.cfg.Bugs.ExtraWayPredCycle {
 				bubble++
@@ -143,7 +149,7 @@ func (s *sim) fetch() {
 		// Direction misprediction: fetch stalls until the branch
 		// resolves; recovery (and speculative-history repair) happens
 		// at resolution.
-		s.nBrMispredict++
+		s.col.Count(events.BrMispredicts, 1)
 	case last.IsBranch() && last.Taken:
 		switch last.Inst.Op.Class() {
 		case isa.ClassJump:
@@ -160,14 +166,14 @@ func (s *sim) fetch() {
 				// comes through a register): fetch stalls until then,
 				// and the restart costs the 10-cycle flush the paper
 				// measured with C-S1. sim-initial undercharged it.
-				s.nJmpMispredict++
+				s.col.Count(events.JmpMispredicts, 1)
 				mispredictIdx = len(packet) - 1
 			}
 		default:
 			// PC-relative taken branch (cond predicted taken, or
 			// unconditional): target computable in the front end.
 			if linePred != actualNext {
-				s.nLineMispredict++
+				s.col.Count(events.LineMispredicts, 1)
 				if s.cfg.Feat.JumpAdder && !s.cfg.Bugs.LateBranchRecovery {
 					// Slot-stage adder overrides the line predictor.
 					bubble += uint64(s.cfg.SlotRedirect)
@@ -181,7 +187,7 @@ func (s *sim) fetch() {
 		// Sequential packet: the line predictor should point at the
 		// next octaword.
 		if linePred != actualNext&^3 && linePred != base+16 {
-			s.nLineMispredict++
+			s.col.Count(events.LineMispredicts, 1)
 			if s.cfg.Bugs.LateBranchRecovery {
 				bubble += uint64(s.cfg.JmpFlush)
 			} else {
@@ -212,6 +218,7 @@ func (s *sim) fetch() {
 	for i, rec := range packet {
 		e := s.alloc(rec)
 		e.availAt = deliverAt
+		e.fetchMiss = !ires.L1Hit
 		if rec.Inst.Op.Class() == isa.ClassCondBr {
 			e.dirPred = dirPreds[i]
 		}
@@ -233,9 +240,11 @@ func (s *sim) fetch() {
 	s.pending = s.pending[len(packet):]
 
 	nextFetchAt += bubble
-	if s.fetchBlockedUntil < nextFetchAt {
-		s.fetchBlockedUntil = nextFetchAt
+	if bubble > 0 && fetchWhy == events.CompFrontend {
+		// Line-mispredict / squash bubbles are control recovery.
+		fetchWhy = events.CompBranch
 	}
+	s.blockFetch(nextFetchAt, fetchWhy)
 }
 
 // alloc appends a record to the combined fetch/reorder window and

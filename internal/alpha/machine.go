@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/events"
 	"repro/internal/isa"
 	"repro/internal/predict"
 )
@@ -39,12 +40,14 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	if err := s.run(); err != nil {
 		return core.RunResult{}, fmt.Errorf("%s/%s: %w", m.cfg.MachineName, w.Name, err)
 	}
+	stack := s.col.Finish(s.cycle)
 	return core.RunResult{
 		Machine:      m.cfg.MachineName,
 		Workload:     w.Name,
 		Instructions: s.retired,
 		Cycles:       s.cycle,
 		Counters:     s.counters(),
+		Breakdown:    &stack,
 	}, nil
 }
 
@@ -87,6 +90,11 @@ type entry struct {
 	isLoad, isStore bool
 	granule         uint64
 	l1Hit           bool
+
+	// CPI-stack attribution.
+	fetchMiss bool             // delivered by a fetch that missed the I-cache
+	memMiss   bool             // load whose data came from beyond the L1
+	memComp   events.Component // hierarchy level that served the miss
 }
 
 // sim is the per-run pipeline state.
@@ -130,19 +138,14 @@ type sim struct {
 	inflightRASOps int
 	fpDivBusyUntil uint64
 
-	// Event counters.
-	nBrMispredict   uint64
-	nLineMispredict uint64
-	nWayMispredict  uint64
-	nJmpMispredict  uint64
-	nLoadUseSquash  uint64
-	nReplayTraps    uint64
-	nMboxTraps      uint64
-	nMapStalls      uint64
-	nIMisses        uint64
-	nDMisses        uint64
-	nL2Misses       uint64
-	nTLBMisses      uint64
+	// col accumulates typed event counts and CPI-stack attribution
+	// (the unified instrumentation layer, internal/events).
+	col events.Collector
+	// fetchBlockReason and issueBlockReason remember why the front
+	// end or the issue stage was last stalled, so a no-retire cycle
+	// can be charged to the right CPI-stack component.
+	fetchBlockReason events.Component
+	issueBlockReason events.Component
 
 	// DebugMispredictPCs, when non-nil, counts direction mispredicts per PC.
 	DebugMispredictPCs map[uint64]uint64
@@ -173,23 +176,88 @@ func newSim(cfg Config, src cpu.Source) *sim {
 	}
 }
 
+// counters renders the schema-defined counter map for this model
+// family, folding in the hierarchy-owned tallies. Called once, at the
+// end of a run.
 func (s *sim) counters() map[string]uint64 {
-	return map[string]uint64{
-		"br_mispredicts":   s.nBrMispredict,
-		"line_mispredicts": s.nLineMispredict,
-		"way_mispredicts":  s.nWayMispredict,
-		"jmp_mispredicts":  s.nJmpMispredict,
-		"loaduse_squashes": s.nLoadUseSquash,
-		"replay_traps":     s.nReplayTraps,
-		"mbox_traps":       s.nMboxTraps,
-		"map_stalls":       s.nMapStalls,
-		"icache_misses":    s.nIMisses,
-		"dcache_misses":    s.nDMisses,
-		"l2_misses":        s.nL2Misses,
-		"tlb_misses":       s.nTLBMisses,
-		"dram_accesses":    s.hier.Mem.Stats.Accesses,
-		"prefetches":       s.hier.Prefetches,
+	s.col.Count(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
+	s.col.Count(events.Prefetches, s.hier.Prefetches)
+	return s.col.Counters(events.ModelAlpha)
+}
+
+// blockFetch stalls the front end until the given cycle, recording
+// the CPI-stack component responsible when it extends the stall.
+func (s *sim) blockFetch(until uint64, why events.Component) {
+	if s.fetchBlockedUntil < until {
+		s.fetchBlockedUntil = until
+		s.fetchBlockReason = why
 	}
+}
+
+// blockIssue stalls issue until the given cycle, recording the
+// CPI-stack component responsible when it extends the stall.
+func (s *sim) blockIssue(until uint64, why events.Component) {
+	if s.issueBlockedUntil < until {
+		s.issueBlockedUntil = until
+		s.issueBlockReason = why
+	}
+}
+
+// classifyStall attributes one cycle in which nothing retired to the
+// CPI-stack component that caused it, judged from the oldest
+// instruction's state — the classic head-of-window stall accounting.
+// Called after resolveAndRetire, before the younger stages run.
+func (s *sim) classifyStall() events.Component {
+	if s.count > 0 {
+		e := &s.rob[s.head]
+		switch {
+		case e.dropped:
+			// Early-retired unop waiting for a retire slot.
+			return events.CompBase
+		case !e.mapped:
+			if s.cycle < s.mapBlockedUntil {
+				return events.CompFrontend // map-stage rename stall
+			}
+			if s.cycle < e.availAt && e.fetchMiss {
+				return events.CompICache // still in flight from a missed fetch
+			}
+			return events.CompFrontend // queue/width/delivery pressure
+		case !e.issued:
+			if s.cycle < s.issueBlockedUntil {
+				return s.issueBlockReason // trap or PAL recovery window
+			}
+			if comp, ok := s.producerMemStall(e); ok {
+				return comp // waiting on an outstanding data miss
+			}
+			return events.CompBase // dependence or structural issue limit
+		default:
+			if e.memMiss && s.cycle < e.doneAt {
+				return e.memComp // its own data miss is outstanding
+			}
+			return events.CompBase // execution latency
+		}
+	}
+	// Window empty: the front end is refilling.
+	if s.cycle < s.fetchBlockedUntil {
+		return s.fetchBlockReason
+	}
+	return events.CompFrontend
+}
+
+// producerMemStall reports whether e is waiting on a producer whose
+// result is an outstanding cache miss, and at which hierarchy level.
+func (s *sim) producerMemStall(e *entry) (events.Component, bool) {
+	for i := 0; i < e.nsrc; i++ {
+		p := e.srcs[i]
+		if p == 0 || !s.inFlight(p) {
+			continue
+		}
+		pe := s.at(p)
+		if pe.issued && pe.memMiss && s.cycle < pe.readyAt {
+			return pe.memComp, true
+		}
+	}
+	return 0, false
 }
 
 // at returns the ROB entry with the given inum, which must be in
@@ -215,7 +283,14 @@ func (s *sim) run() error {
 		if s.count == 0 && s.srcDone && len(s.pending) == 0 {
 			return nil
 		}
+		before := s.retired
 		s.resolveAndRetire()
+		if s.retired == before {
+			// Nothing retired this cycle: charge it to the component
+			// blocking the head of the window. Cycles that do retire
+			// land in the base component (see Collector.Finish).
+			s.col.Attribute(s.classifyStall(), 1)
+		}
 		s.issue()
 		s.mapStage()
 		s.fetch()
@@ -324,10 +399,7 @@ func (s *sim) resolve(e *entry) {
 				rec = 1
 			}
 		}
-		until := e.doneAt + uint64(rec)
-		if s.fetchBlockedUntil < until {
-			s.fetchBlockedUntil = until
-		}
+		s.blockFetch(e.doneAt+uint64(rec), events.CompBranch)
 		s.waitBranch = 0
 		// Repair the speculative global history: retired history
 		// extended by the in-flight branches in program order (their
@@ -358,12 +430,9 @@ func (s *sim) storeTrapScan(st *entry) {
 	for i := int(st.inum-s.headInum) + 1; i < s.count; i++ {
 		e := &s.rob[(s.head+i)%len(s.rob)]
 		if e.isLoad && e.issued && e.granule == st.granule && e.issueAt < st.doneAt {
-			s.nReplayTraps++
+			s.col.Count(events.ReplayTraps, 1)
 			s.stwt.MarkTrap(e.rec.PC)
-			until := st.doneAt + uint64(s.cfg.TrapPenalty)
-			if s.issueBlockedUntil < until {
-				s.issueBlockedUntil = until
-			}
+			s.blockIssue(st.doneAt+uint64(s.cfg.TrapPenalty), events.CompReplay)
 			return
 		}
 	}
@@ -464,11 +533,8 @@ func (s *sim) loadOrderTrap(ld *entry) {
 	for i := int(ld.inum-s.headInum) + 1; i < s.count; i++ {
 		e := &s.rob[(s.head+i)%len(s.rob)]
 		if e.isLoad && e.issued && e.granule == ld.granule {
-			s.nReplayTraps++
-			until := s.cycle + uint64(s.cfg.TrapPenalty)
-			if s.issueBlockedUntil < until {
-				s.issueBlockedUntil = until
-			}
+			s.col.Count(events.ReplayTraps, 1)
+			s.blockIssue(s.cycle+uint64(s.cfg.TrapPenalty), events.CompReplay)
 			return
 		}
 	}
@@ -681,31 +747,37 @@ func (s *sim) issueMem(e *entry, cluster int8) {
 	write := e.isStore
 	res := s.hier.Data(e.rec.EA, write, s.cycle)
 	if res.TLBMiss {
-		s.nTLBMisses++
+		s.col.Count(events.TLBMisses, 1)
 	}
 	if !res.L1Hit && !res.VBHit {
-		s.nDMisses++
+		s.col.Count(events.DCacheMisses, 1)
 		if !res.L2Hit {
-			s.nL2Misses++
+			s.col.Count(events.L2Misses, 1)
+		}
+	}
+	// Remember where a load's data came from so head-of-window stall
+	// cycles can be charged to the right hierarchy level.
+	if e.isLoad {
+		switch {
+		case !res.L1Hit && !res.VBHit && !res.L2Hit:
+			e.memMiss, e.memComp = true, events.CompL2
+		case !res.L1Hit && !res.VBHit:
+			e.memMiss, e.memComp = true, events.CompDCache
+		case res.TLBMiss:
+			e.memMiss, e.memComp = true, events.CompDRAM
 		}
 	}
 	// TLB walk policy: PAL code stalls the machine (native); the
 	// hardware walk only delays this access (sim-alpha).
 	walk := uint64(res.WalkCycles)
 	if res.TLBMiss && s.cfg.Extra.PALTLBMiss {
-		until := s.cycle + walk + uint64(s.cfg.PALOverhead)
-		if s.issueBlockedUntil < until {
-			s.issueBlockedUntil = until
-		}
+		s.blockIssue(s.cycle+walk+uint64(s.cfg.PALOverhead), events.CompDRAM)
 		walk = 0
 	}
 
 	if res.MAFFull && s.cfg.Feat.MboxTraps {
-		s.nMboxTraps++
-		until := s.cycle + uint64(s.cfg.TrapPenalty)
-		if s.issueBlockedUntil < until {
-			s.issueBlockedUntil = until
-		}
+		s.col.Count(events.MboxTraps, 1)
+		s.blockIssue(s.cycle+uint64(s.cfg.TrapPenalty), events.CompReplay)
 	}
 
 	if e.isStore {
@@ -737,15 +809,12 @@ func (s *sim) issueMem(e *entry, cluster int8) {
 		if predHit && !hit {
 			// Consumers issued in the speculation window are
 			// squashed and reissued.
-			s.nLoadUseSquash++
+			s.col.Count(events.LoadUseSquashes, 1)
 			rec := uint64(s.cfg.LoadUseRecovery)
 			if s.cfg.Bugs.CheapLoadUseRecovery && rec > 0 {
 				rec--
 			}
-			until := s.cycle + hitLat + rec
-			if s.issueBlockedUntil < until {
-				s.issueBlockedUntil = until
-			}
+			s.blockIssue(s.cycle+hitLat+rec, events.CompReplay)
 			e.readyAt = s.cycle + actual
 		} else if !predHit {
 			// Conservative: consumers wait for the fill signal.
@@ -818,7 +887,7 @@ func (s *sim) mapStage() {
 				break
 			}
 			if s.cfg.Feat.MapStall && free < s.cfg.MapStallFree {
-				s.nMapStalls++
+				s.col.Count(events.MapStalls, 1)
 				s.mapBlockedUntil = s.cycle + uint64(s.cfg.MapStallLen)
 				break
 			}

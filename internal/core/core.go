@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cpu"
+	"repro/internal/events"
 )
 
 // Workload is one benchmark: a program (or a recorded trace) plus an
@@ -58,8 +59,13 @@ type RunResult struct {
 	Instructions uint64
 	Cycles       uint64
 	// Counters holds machine-specific event counts (mispredictions,
-	// replay traps, cache misses, ...) keyed by short names.
+	// replay traps, cache misses, ...) keyed by the canonical names of
+	// the internal/events schema.
 	Counters map[string]uint64
+	// Breakdown, when non-nil, is the run's CPI stack: every cycle
+	// attributed to the component that spent it. Machine models
+	// guarantee Breakdown.Sum() == Cycles.
+	Breakdown *events.Stack
 }
 
 // IPC returns retired instructions per cycle.
@@ -86,6 +92,16 @@ func (r RunResult) String() string {
 
 // Counter returns a named counter, or 0 when absent.
 func (r RunResult) Counter(name string) uint64 { return r.Counters[name] }
+
+// ComponentCPI returns one CPI-stack component's contribution to the
+// run's CPI (component cycles per retired instruction), or 0 when the
+// run carries no breakdown.
+func (r RunResult) ComponentCPI(c events.Component) float64 {
+	if r.Breakdown == nil || r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Breakdown[c]) / float64(r.Instructions)
+}
 
 // Machine is any timing model that can run a workload. Machines are
 // single-use per run internally but Run must be callable repeatedly

@@ -8,7 +8,12 @@
 // deterministic for a given workload so experiments are reproducible.
 package dcpi
 
-import "repro/internal/core"
+import (
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/events"
+)
 
 // Config controls the emulated profiler.
 type Config struct {
@@ -67,7 +72,39 @@ func Measure(cfg Config, r core.RunResult) core.RunResult {
 			out.Counters[k] = quantize(v, samples)
 		}
 	}
+	if r.Breakdown != nil {
+		stack := measureStack(*r.Breakdown, r.Cycles, out.Cycles, samples)
+		out.Breakdown = &stack
+	}
 	return out
+}
+
+// measureStack transforms a true CPI stack into the profiler's view:
+// stall components are rescaled to the dilated-and-jittered cycle
+// count and quantized like any other sampled counter, and the base
+// component absorbs the residual, so the measured stack still sums
+// exactly to the measured cycle count.
+func measureStack(s events.Stack, trueCycles, measuredCycles, samples uint64) events.Stack {
+	var col events.Collector
+	for c := events.Component(0); c < events.NumComponents; c++ {
+		if c == events.CompBase {
+			continue
+		}
+		col.Attribute(c, quantize(scale(s[c], measuredCycles, trueCycles), samples))
+	}
+	return col.Finish(measuredCycles)
+}
+
+// scale returns v * num / den without intermediate overflow. v never
+// exceeds den here (a stack component is at most the run's cycles),
+// so the result fits in 64 bits.
+func scale(v, num, den uint64) uint64 {
+	if den == 0 {
+		return v
+	}
+	hi, lo := bits.Mul64(v, num)
+	q, _ := bits.Div64(hi, lo, den)
+	return q
 }
 
 // quantize rounds an event count to the resolution a sampling

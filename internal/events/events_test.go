@@ -1,0 +1,176 @@
+package events
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSchemaComplete: every event has a name, a unit, at least one
+// applicable model and a description, and names are unique — the
+// no-drift guarantee the satellite normalization rests on.
+func TestSchemaComplete(t *testing.T) {
+	seen := make(map[string]ID)
+	for _, id := range All() {
+		if id.Name() == "" || id.Unit() == "" || id.Desc() == "" {
+			t.Errorf("event %d has an incomplete definition", id)
+		}
+		if defs[id].Models == 0 {
+			t.Errorf("event %q applies to no model", id.Name())
+		}
+		if prev, dup := seen[id.Name()]; dup {
+			t.Errorf("events %d and %d share the name %q", prev, id, id.Name())
+		}
+		seen[id.Name()] = id
+	}
+	if len(seen) != int(NumEvents) {
+		t.Errorf("schema has %d unique names, want %d", len(seen), NumEvents)
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	for _, id := range All() {
+		got, ok := Lookup(id.Name())
+		if !ok || got != id {
+			t.Errorf("Lookup(%q) = %v,%v; want %v", id.Name(), got, ok, id)
+		}
+	}
+	if _, ok := Lookup("not_an_event"); ok {
+		t.Error("Lookup invented an event")
+	}
+}
+
+// TestLegacyAlphaCounterNames pins the alpha-model counter map to the
+// exact key set the model emitted before the schema refactor; the
+// golden-table invariant depends on these names never drifting.
+func TestLegacyAlphaCounterNames(t *testing.T) {
+	want := []string{
+		"br_mispredicts", "line_mispredicts", "way_mispredicts",
+		"jmp_mispredicts", "loaduse_squashes", "replay_traps",
+		"mbox_traps", "map_stalls", "icache_misses", "dcache_misses",
+		"l2_misses", "tlb_misses", "dram_accesses", "prefetches",
+	}
+	var c Collector
+	got := c.Counters(ModelAlpha)
+	if len(got) != len(want) {
+		t.Fatalf("alpha schema has %d counters %v, want %d", len(got), got, len(want))
+	}
+	for _, name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("alpha counter map missing %q", name)
+		}
+	}
+	if _, ok := got["btb_misses"]; ok {
+		t.Error("btb_misses leaked into the alpha schema")
+	}
+}
+
+// TestNormalizedCounterSets: the keys the satellite normalization
+// adds to the RUU and in-order models are present in their schemas.
+func TestNormalizedCounterSets(t *testing.T) {
+	var c Collector
+	for _, name := range []string{"dram_accesses", "prefetches", "l2_misses"} {
+		if _, ok := c.Counters(ModelRUU)[name]; !ok {
+			t.Errorf("RUU counter map missing normalized key %q", name)
+		}
+		if _, ok := c.Counters(ModelInOrder)[name]; !ok {
+			t.Errorf("in-order counter map missing normalized key %q", name)
+		}
+	}
+	if _, ok := c.Counters(ModelRUU)["btb_misses"]; !ok {
+		t.Error("RUU counter map lost btb_misses")
+	}
+	if _, ok := c.Counters(ModelInOrder)["replay_traps"]; ok {
+		t.Error("in-order model claims replay traps it cannot take")
+	}
+}
+
+func TestCollectorCountAndCounters(t *testing.T) {
+	var c Collector
+	c.Count(ReplayTraps, 3)
+	c.Count(ReplayTraps, 2)
+	c.Count(L2Misses, 7)
+	if c.Get(ReplayTraps) != 5 {
+		t.Errorf("ReplayTraps = %d, want 5", c.Get(ReplayTraps))
+	}
+	m := c.Counters(ModelAlpha)
+	if m["replay_traps"] != 5 || m["l2_misses"] != 7 || m["icache_misses"] != 0 {
+		t.Errorf("counter map wrong: %v", m)
+	}
+}
+
+// TestFinishExactSum: the completed stack sums exactly to the run's
+// cycles, with base as the remainder.
+func TestFinishExactSum(t *testing.T) {
+	var c Collector
+	c.Attribute(CompICache, 100)
+	c.Attribute(CompBranch, 250)
+	c.Attribute(CompReplay, 50)
+	s := c.Finish(1000)
+	if s.Sum() != 1000 {
+		t.Fatalf("stack sums to %d, want 1000", s.Sum())
+	}
+	if s[CompBase] != 600 {
+		t.Errorf("base = %d, want 600", s[CompBase])
+	}
+	if s[CompICache] != 100 || s[CompBranch] != 250 || s[CompReplay] != 50 {
+		t.Errorf("stall components perturbed: %v", s)
+	}
+}
+
+// TestFinishClampsOverflow: over-attribution (which per-cycle
+// accounting cannot produce, but a buggy direct-attribution model
+// could) is scaled to fit rather than breaking the sum invariant.
+func TestFinishClampsOverflow(t *testing.T) {
+	var c Collector
+	c.Attribute(CompDCache, 900)
+	c.Attribute(CompL2, 600)
+	s := c.Finish(1000)
+	if s.Sum() != 1000 {
+		t.Fatalf("clamped stack sums to %d, want 1000", s.Sum())
+	}
+	if s[CompBase] != 0 {
+		t.Errorf("base = %d after overflow clamp, want 0", s[CompBase])
+	}
+	if s[CompDCache] <= s[CompL2] {
+		t.Errorf("clamp lost proportionality: dcache %d vs l2 %d", s[CompDCache], s[CompL2])
+	}
+}
+
+// TestStackJSONRoundTrip: canonical-order marshalling, strict
+// unmarshalling.
+func TestStackJSONRoundTrip(t *testing.T) {
+	var s Stack
+	s[CompBase] = 10
+	s[CompL2] = 4
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"base":10,"icache":0,"dcache":0,"l2":4,"dram":0,"branch":0,"replay":0,"frontend":0}`
+	if string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+	var back Stack
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip lost data: %v vs %v", back, s)
+	}
+	if err := json.Unmarshal([]byte(`{"bogus":1}`), &back); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	names := ComponentNames()
+	if len(names) != int(NumComponents) {
+		t.Fatalf("%d component names, want %d", len(names), NumComponents)
+	}
+	for i, n := range names {
+		c, ok := LookupComponent(n)
+		if !ok || c != Component(i) {
+			t.Errorf("LookupComponent(%q) = %v,%v, want %d", n, c, ok, i)
+		}
+	}
+}

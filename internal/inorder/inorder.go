@@ -18,6 +18,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/events"
 	"repro/internal/isa"
 	"repro/internal/predict"
 	"repro/internal/vm"
@@ -76,7 +77,11 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	src := w.Source()
 
 	var cycle, retired uint64
-	var nBrMiss, nDMiss, nIMiss uint64
+	// col accumulates typed event counts and CPI-stack attribution
+	// (the unified instrumentation layer, internal/events). With a
+	// blocking in-order pipe, attribution is direct: every stall the
+	// model adds to the cycle count is charged where it is added.
+	var col events.Collector
 	// regReadyAt holds the cycle each architectural register's value
 	// becomes available; in-order issue waits for sources.
 	var regReadyAt [2][isa.NumRegs]uint64
@@ -92,7 +97,8 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 		if line != lastFetchLine {
 			res, _, _ := hier.Inst(rec.PC, cycle)
 			if !res.L1Hit {
-				nIMiss++
+				col.Count(events.ICacheMisses, 1)
+				col.Attribute(events.CompICache, uint64(res.Latency+res.WalkCycles))
 				cycle += uint64(res.Latency + res.WalkCycles)
 			}
 			lastFetchLine = line
@@ -114,8 +120,14 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 		case rec.Inst.Op.Class().IsLoad():
 			res := hier.Data(rec.EA, false, cycle)
 			if !res.L1Hit && !res.VBHit {
-				nDMiss++
+				col.Count(events.DCacheMisses, 1)
+				comp := events.CompDCache
+				if !res.L2Hit {
+					col.Count(events.L2Misses, 1)
+					comp = events.CompL2
+				}
 				// Blocking cache: the whole pipeline waits.
+				col.Attribute(comp, uint64(res.Latency+res.WalkCycles)-1)
 				cycle += uint64(res.Latency+res.WalkCycles) - 1
 				lat = 1
 			} else {
@@ -132,7 +144,8 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 				mispredict = true // no BTB: indirect targets always flush
 			}
 			if mispredict {
-				nBrMiss++
+				col.Count(events.BrMispredicts, 1)
+				col.Attribute(events.CompBranch, uint64(m.cfg.BranchPenalty))
 				cycle += uint64(m.cfg.BranchPenalty)
 			}
 			lat = 1
@@ -151,16 +164,16 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	if retired == 0 {
 		return core.RunResult{}, fmt.Errorf("inorder: empty instruction stream")
 	}
+	col.Count(events.DRAMAccesses, hier.Mem.Stats.Accesses)
+	col.Count(events.Prefetches, hier.Prefetches)
+	stack := col.Finish(cycle)
 	return core.RunResult{
 		Machine:      m.cfg.MachineName,
 		Workload:     w.Name,
 		Instructions: retired,
 		Cycles:       cycle,
-		Counters: map[string]uint64{
-			"br_mispredicts": nBrMiss,
-			"dcache_misses":  nDMiss,
-			"icache_misses":  nIMiss,
-		},
+		Counters:     col.Counters(events.ModelInOrder),
+		Breakdown:    &stack,
 	}, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/events"
 	"repro/internal/isa"
 	"repro/internal/predict"
 	"repro/internal/vm"
@@ -178,18 +179,16 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	if err := s.run(); err != nil {
 		return core.RunResult{}, fmt.Errorf("%s/%s: %w", m.cfg.MachineName, w.Name, err)
 	}
+	s.col.Count(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
+	s.col.Count(events.Prefetches, s.hier.Prefetches)
+	stack := s.col.Finish(s.cycle)
 	return core.RunResult{
 		Machine:      m.cfg.MachineName,
 		Workload:     w.Name,
 		Instructions: s.retired,
 		Cycles:       s.cycle,
-		Counters: map[string]uint64{
-			"br_mispredicts": s.nBrMispredict,
-			"btb_misses":     s.nBTBMiss,
-			"dcache_misses":  s.nDMisses,
-			"icache_misses":  s.nIMisses,
-			"l2_misses":      s.nL2Misses,
-		},
+		Counters:     s.col.Counters(events.ModelRUU),
+		Breakdown:    &stack,
 	}, nil
 }
 
@@ -211,6 +210,11 @@ type entry struct {
 	resolved     bool
 	mispredicted bool
 	isMem        bool
+
+	// CPI-stack attribution.
+	fetchMiss bool             // delivered by a fetch that missed the I-cache
+	memMiss   bool             // load whose data came from beyond the L1
+	memComp   events.Component // hierarchy level that served the miss
 }
 
 // btb is a small set-associative branch target buffer.
@@ -299,11 +303,12 @@ type sim struct {
 	waitBranch        uint64
 	fpDivBusyUntil    uint64
 
-	nBrMispredict uint64
-	nBTBMiss      uint64
-	nDMisses      uint64
-	nIMisses      uint64
-	nL2Misses     uint64
+	// col accumulates typed event counts and CPI-stack attribution
+	// (the unified instrumentation layer, internal/events).
+	col events.Collector
+	// fetchBlockReason remembers why the front end was last stalled so
+	// a no-commit cycle can be charged to the right component.
+	fetchBlockReason events.Component
 }
 
 func newSim(cfg Config, src cpu.Source) *sim {
@@ -359,7 +364,14 @@ func (s *sim) run() error {
 		if s.count == 0 && s.srcDone && len(s.pending) == 0 {
 			return nil
 		}
+		before := s.retired
 		s.commit()
+		if s.retired == before {
+			// Nothing committed this cycle: charge it to the component
+			// blocking the head of the window. Cycles that do commit
+			// land in the base component (see Collector.Finish).
+			s.col.Attribute(s.classifyStall(), 1)
+		}
 		s.issue()
 		s.dispatch()
 		s.fetch()
@@ -370,6 +382,69 @@ func (s *sim) run() error {
 	}
 }
 
+// blockFetch stalls the front end until the given cycle, recording
+// the CPI-stack component responsible when it extends the stall.
+func (s *sim) blockFetch(until uint64, why events.Component) {
+	if s.fetchBlockedUntil < until {
+		s.fetchBlockedUntil = until
+		s.fetchBlockReason = why
+	}
+}
+
+// classifyStall attributes one cycle in which nothing committed to
+// the CPI-stack component that caused it, judged from the oldest
+// instruction's state — head-of-window stall accounting, the same
+// discipline the alpha model uses.
+func (s *sim) classifyStall() events.Component {
+	if s.count > 0 {
+		e := &s.rob[s.head]
+		switch {
+		case !e.mapped:
+			if s.cycle < e.availAt && e.fetchMiss {
+				return events.CompICache // still in flight from a missed fetch
+			}
+			return events.CompFrontend // LSQ/rename/decode pressure
+		case !e.issued:
+			if comp, ok := s.producerMemStall(e); ok {
+				return comp // waiting on an outstanding data miss
+			}
+			return events.CompBase // dependence or structural issue limit
+		default:
+			if e.memMiss && s.cycle < e.doneAt {
+				return e.memComp // its own data miss is outstanding
+			}
+			if s.waitBranch != 0 {
+				return events.CompBranch // draining behind a mispredict
+			}
+			return events.CompBase // execution latency
+		}
+	}
+	// Window empty: the front end is refilling.
+	if s.cycle < s.fetchBlockedUntil {
+		return s.fetchBlockReason
+	}
+	if s.waitBranch != 0 {
+		return events.CompBranch
+	}
+	return events.CompFrontend
+}
+
+// producerMemStall reports whether e is waiting on a producer whose
+// result is an outstanding cache miss, and at which hierarchy level.
+func (s *sim) producerMemStall(e *entry) (events.Component, bool) {
+	for i := 0; i < e.nsrc; i++ {
+		p := e.srcs[i]
+		if p == 0 || !s.inFlight(p) {
+			continue
+		}
+		pe := s.at(p)
+		if pe.issued && pe.memMiss && s.cycle < pe.readyAt {
+			return pe.memComp, true
+		}
+	}
+	return 0, false
+}
+
 func (s *sim) commit() {
 	// Resolve completions.
 	for i := 0; i < s.count; i++ {
@@ -377,10 +452,7 @@ func (s *sim) commit() {
 		if e.issued && !e.resolved && s.cycle >= e.doneAt {
 			e.resolved = true
 			if e.mispredicted && s.waitBranch == e.inum {
-				until := e.doneAt + uint64(s.cfg.BrPenalty)
-				if s.fetchBlockedUntil < until {
-					s.fetchBlockedUntil = until
-				}
+				s.blockFetch(e.doneAt+uint64(s.cfg.BrPenalty), events.CompBranch)
 				s.waitBranch = 0
 			}
 		}
@@ -491,9 +563,16 @@ func (s *sim) issue() {
 			mem--
 			res := s.hier.Data(e.rec.EA, e.cls.IsStore(), s.cycle)
 			if !res.L1Hit && !res.VBHit {
-				s.nDMisses++
+				s.col.Count(events.DCacheMisses, 1)
 				if !res.L2Hit {
-					s.nL2Misses++
+					s.col.Count(events.L2Misses, 1)
+				}
+				if e.cls.IsLoad() {
+					e.memMiss = true
+					e.memComp = events.CompDCache
+					if !res.L2Hit {
+						e.memComp = events.CompL2
+					}
 				}
 			}
 			lat = res.Latency + res.WalkCycles
@@ -626,8 +705,10 @@ func (s *sim) fetch() {
 	ires, _, _ := s.hier.Inst(packet[0].PC, s.cycle)
 	deliverAt := s.cycle + 1
 	nextFetchAt := s.cycle + 1
+	fetchWhy := events.CompFrontend
 	if !ires.L1Hit {
-		s.nIMisses++
+		s.col.Count(events.ICacheMisses, 1)
+		fetchWhy = events.CompICache
 		deliverAt += uint64(ires.Latency + ires.WalkCycles)
 		nextFetchAt += uint64(ires.Latency + ires.WalkCycles)
 	}
@@ -650,7 +731,7 @@ func (s *sim) fetch() {
 			} else if rec.Taken {
 				// Correct direction: target must come from the BTB.
 				if tgt, ok := s.btb.lookup(rec.PC); !ok || tgt != rec.NextPC {
-					s.nBTBMiss++
+					s.col.Count(events.BTBMisses, 1)
 					bubble += uint64(s.cfg.BrPenalty)
 				}
 				s.btb.insert(rec.PC, rec.NextPC)
@@ -660,7 +741,7 @@ func (s *sim) fetch() {
 				s.ras.Push(rec.PC + isa.WordBytes)
 			}
 			if tgt, ok := s.btb.lookup(rec.PC); !ok || tgt != rec.NextPC {
-				s.nBTBMiss++
+				s.col.Count(events.BTBMisses, 1)
 				bubble += uint64(s.cfg.BrPenalty)
 			}
 			s.btb.insert(rec.PC, rec.NextPC)
@@ -696,21 +777,24 @@ func (s *sim) fetch() {
 		rec := packet[i]
 		e := s.alloc(rec)
 		e.availAt = deliverAt
+		e.fetchMiss = !ires.L1Hit
 		allocated++
 		if mispredict != nil && rec.PC == mispredict.PC {
 			// Fetch stops at the mispredicted branch; the rest of the
 			// packet stays pending and refetches after recovery.
 			e.mispredicted = true
 			s.waitBranch = e.inum
-			s.nBrMispredict++
+			s.col.Count(events.BrMispredicts, 1)
 			break
 		}
 	}
 	s.pending = s.pending[allocated:]
 	nextFetchAt += bubble
-	if s.fetchBlockedUntil < nextFetchAt {
-		s.fetchBlockedUntil = nextFetchAt
+	if bubble > 0 && fetchWhy == events.CompFrontend {
+		// BTB-miss redirect bubbles are control recovery.
+		fetchWhy = events.CompBranch
 	}
+	s.blockFetch(nextFetchAt, fetchWhy)
 }
 
 func (s *sim) alloc(rec cpu.Record) *entry {

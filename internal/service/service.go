@@ -32,6 +32,7 @@ import (
 	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/dcpi"
+	"repro/internal/events"
 	"repro/internal/inorder"
 	"repro/internal/macrobench"
 	"repro/internal/metrics"
@@ -207,12 +208,25 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.metricsHandler())
-	mux.HandleFunc("GET /v1/machines", s.handleMachines)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("GET /v1/experiment/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/machines", s.timed("machines", s.handleMachines))
+	mux.HandleFunc("GET /v1/workloads", s.timed("workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /v1/run", s.timed("run", s.handleRun))
+	mux.HandleFunc("POST /v1/run", s.timed("run", s.handleRun))
+	mux.HandleFunc("GET /v1/experiment/{name}", s.timed("experiment", s.handleExperiment))
 	return s.instrument(mux)
+}
+
+// timed wraps a route handler with its own latency histogram
+// (request_seconds_<route>), so /metrics separates cheap catalogue
+// requests from simulation-bearing ones; the aggregate
+// request_seconds series in instrument covers everything.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.Histogram("request_seconds_"+route, metrics.DefLatencyBuckets)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { hist.Observe(time.Since(start).Seconds()) }()
+		h(w, r)
+	}
 }
 
 // instrument wraps the mux with request counting, latency
@@ -319,7 +333,10 @@ type RunResponse struct {
 	IPC          float64           `json:"ipc"`
 	CPI          float64           `json:"cpi"`
 	Counters     map[string]uint64 `json:"counters,omitempty"`
-	Key          string            `json:"key"`
+	// Breakdown is the run's CPI stack: cycles attributed per
+	// component, summing exactly to Cycles (see internal/events).
+	Breakdown *events.Stack `json:"breakdown,omitempty"`
+	Key       string        `json:"key"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -383,6 +400,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.recordSimEvents(res)
 		return json.Marshal(RunResponse{
 			Machine:      res.Machine,
 			Workload:     res.Workload,
@@ -392,9 +410,30 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			IPC:          res.IPC(),
 			CPI:          res.CPI(),
 			Counters:     res.Counters,
+			Breakdown:    res.Breakdown,
 			Key:          key.String(),
 		})
 	}, "application/json")
+}
+
+// recordSimEvents aggregates one cold run's schema counters and CPI
+// stack into the registry, so /metrics exposes fleet-wide event
+// totals (sim_event_<name>_total) and attributed cycle totals
+// (sim_cycles_<component>_total) next to the cache counters. Cache
+// hits never re-run a simulation, so they add nothing here.
+func (s *Server) recordSimEvents(res core.RunResult) {
+	for name, v := range res.Counters {
+		if v > 0 {
+			s.metrics.Counter("sim_event_" + name + "_total").Add(v)
+		}
+	}
+	if res.Breakdown != nil {
+		for c := events.Component(0); c < events.NumComponents; c++ {
+			if v := res.Breakdown[c]; v > 0 {
+				s.metrics.Counter("sim_cycles_" + c.Name() + "_total").Add(v)
+			}
+		}
+	}
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {

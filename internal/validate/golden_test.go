@@ -52,23 +52,41 @@ func TestGoldenTables(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := out.String()
-			path := filepath.Join("testdata", exp.name+".golden")
-			if *update {
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run with -update to bless): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("%s drifted from golden\n--- got ---\n%s--- want ---\n%s",
-					exp.name, got, want)
-			}
+			checkGolden(t, exp.name, out.String())
 		})
+	}
+}
+
+// TestGoldenBreakdown covers the CPI-breakdown experiment. It is
+// blessed separately from goldenExperiments because the full-length
+// reference files (results_full.txt) predate the instrumentation
+// layer and must keep matching the original nine experiments.
+func TestGoldenBreakdown(t *testing.T) {
+	out, err := Breakdown(goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "breakdown", out.String())
+}
+
+// checkGolden compares a rendering against its blessed file in
+// testdata/, rewriting the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to bless): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden\n--- got ---\n%s--- want ---\n%s",
+			name, got, want)
 	}
 }
 

@@ -40,6 +40,8 @@ var registry = []Experiment{
 		func(o Options) (fmt.Stringer, error) { return Figure2(o) }},
 	{"mapping", "Page-mapping policy study (Section 6)",
 		func(o Options) (fmt.Stringer, error) { return MappingStudy(o) }},
+	{"breakdown", "CPI-stack attribution across machine models",
+		func(o Options) (fmt.Stringer, error) { return Breakdown(o) }},
 }
 
 // Experiments returns every registered experiment in paper order.

@@ -84,6 +84,31 @@ func TestMachinesDeterministic(t *testing.T) {
 	}
 }
 
+// TestBreakdownSumsToCycles: the CPI stack is a lossless
+// decomposition. On the full microbenchmark suite, every machine
+// (including the ablation variants and the in-order model) must
+// report a breakdown whose components sum exactly to the run's total
+// cycles — the core guarantee of the instrumentation layer.
+func TestBreakdownSumsToCycles(t *testing.T) {
+	machines := append(machinesUnderTest(), SimInorder())
+	for _, w := range Microbenchmarks() {
+		w.MaxInstructions = 25_000
+		for _, m := range machines {
+			res, err := m.Run(w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name(), w.Name, err)
+			}
+			if res.Breakdown == nil {
+				t.Fatalf("%s/%s: no CPI breakdown", m.Name(), w.Name)
+			}
+			if sum := res.Breakdown.Sum(); sum != res.Cycles {
+				t.Errorf("%s/%s: breakdown sums to %d, cycles %d (stack %v)",
+					m.Name(), w.Name, sum, res.Cycles, *res.Breakdown)
+			}
+		}
+	}
+}
+
 // Property: randomly parameterized synthetic programs run to
 // completion on the validated machine and the RUU machine with
 // identical retirement counts.
