@@ -9,14 +9,25 @@
 //	run [-m machine] [-limit N] [-json] [-breakdown] workload...
 //	                                          simulate cells, print a result table
 //	experiment [-json] name...                print experiment tables (as cmd/validate)
-//	machines                                  list served machine models
-//	workloads                                 list served workloads
+//	sweep [-m machine] [-analysis A] [-strategy S] [-limit N] [-json] [...] axis...
+//	                                          submit a design-space sweep job and
+//	                                          poll it to completion
+//	machines [-json]                          list served machine models
+//	workloads [-json]                         list served workloads
 //	health                                    check /healthz
 //	metrics                                   dump /metrics
 //
-// -json switches run/experiment output to machine-readable JSON (one
-// object per line); pretty text stays the default. -breakdown adds
-// each run's CPI stack to the text table.
+// -json switches output to machine-readable JSON (one object per
+// line; for machines/workloads/sweep, the service body verbatim);
+// pretty text stays the default. -breakdown adds each run's CPI stack
+// to the text table.
+//
+// A sweep axis is "name=Field:v1,v2,..." — a display name, a
+// dot-path into the machine's config struct, and the candidate
+// values (first = baseline), e.g. rob=ROB:80,40,20 or
+// openpage=DRAM.OpenPage:true,false. With -analysis calibration and
+// no axes, the server calibrates the sim-initial bug catalogue
+// against the reference machine.
 //
 // Examples:
 //
@@ -46,8 +57,11 @@ commands:
   run [-m machine] [-limit N] [-json] [-breakdown] workload...
                                             simulate cells, print a result table
   experiment [-json] name...                print experiment tables (as cmd/validate)
-  machines                                  list served machine models
-  workloads                                 list served workloads
+  sweep [-m machine] [-analysis A] [-strategy S] [-limit N] [-json] [...] axis...
+                                            submit a sweep job (axis: name=Field:v1,v2,...)
+                                            and poll it to completion
+  machines [-json]                          list served machine models
+  workloads [-json]                         list served workloads
   health                                    check /healthz
   metrics                                   dump /metrics
 `)
@@ -118,10 +132,12 @@ func main() {
 		err = cmdRun(c, args)
 	case "experiment":
 		err = cmdExperiment(c, args)
+	case "sweep":
+		err = cmdSweep(c, args)
 	case "machines":
-		err = cmdMachines(c)
+		err = cmdMachines(c, args)
 	case "workloads":
-		err = cmdWorkloads(c)
+		err = cmdWorkloads(c, args)
 	case "health":
 		err = cmdHealth(c)
 	case "metrics":
@@ -222,10 +238,17 @@ func cmdExperiment(c *client, args []string) error {
 	return nil
 }
 
-func cmdMachines(c *client) error {
+func cmdMachines(c *client, args []string) error {
+	fs := flag.NewFlagSet("machines", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the raw JSON catalogue")
+	fs.Parse(args)
 	body, _, err := c.get("/v1/machines")
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		fmt.Println(strings.TrimSpace(string(body)))
+		return nil
 	}
 	var machines []struct {
 		Name        string `json:"name"`
@@ -241,10 +264,17 @@ func cmdMachines(c *client) error {
 	return nil
 }
 
-func cmdWorkloads(c *client) error {
+func cmdWorkloads(c *client, args []string) error {
+	fs := flag.NewFlagSet("workloads", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the raw JSON catalogue")
+	fs.Parse(args)
 	body, _, err := c.get("/v1/workloads")
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		fmt.Println(strings.TrimSpace(string(body)))
+		return nil
 	}
 	var workloads []struct {
 		Name     string `json:"name"`

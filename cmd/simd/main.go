@@ -6,11 +6,14 @@
 // Usage:
 //
 //	simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]
+//	     [-sweep-points N] [-sweep-jobs N] [-sweep-history N]
 //
 // Routes (see internal/service):
 //
 //	GET /v1/run?machine=M&workload=W[&limit=N]
 //	GET /v1/experiment/{name}[?limit=N]
+//	POST /v1/sweep          (async design-space sweep jobs)
+//	GET /v1/sweep           GET /v1/sweep/{id}           DELETE /v1/sweep/{id}
 //	GET /v1/machines
 //	GET /v1/workloads
 //	GET /healthz
@@ -40,9 +43,13 @@ func main() {
 	maxConc := flag.Int("max-concurrent", 0, "simultaneous simulations (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline")
 	jobs := flag.Int("j", 0, "per-experiment worker-pool width (0 = all CPUs)")
+	sweepPoints := flag.Int("sweep-points", 0, "max design-space points per sweep job (0 = 256)")
+	sweepJobs := flag.Int("sweep-jobs", 0, "concurrently running sweep jobs (0 = 2)")
+	sweepHistory := flag.Int("sweep-history", 0, "finished sweep jobs kept pollable (0 = 64)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]\n")
+			"usage: simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]\n"+
+				"            [-sweep-points N] [-sweep-jobs N] [-sweep-history N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,6 +66,9 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *timeout,
 		Parallelism:    *jobs,
+		MaxSweepPoints: *sweepPoints,
+		MaxSweepJobs:   *sweepJobs,
+		SweepHistory:   *sweepHistory,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	validate [-j N] [-list] [-breakdown] [experiment ...]
+//	validate [-j N] [-list] [-breakdown] [-sweep] [experiment ...]
 //
 // With no experiment arguments it runs everything in paper order;
 // otherwise it runs only the named experiments. -list prints the
 // experiment registry (shared with the simd service) and exits.
 // -breakdown adds the CPI-breakdown experiment to the selection (with
-// no other selection, it runs alone).
+// no other selection, it runs alone). -sweep likewise adds the
+// design-space exploration family: the sensitivity sweep and the
+// sim-initial auto-calibration.
 //
 // -j sets how many simulation cells run concurrently (default: all
 // CPUs). Output is byte-identical at every -j because results are
@@ -35,16 +37,18 @@ func main() {
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	breakdown := flag.Bool("breakdown", false,
 		"run the CPI-breakdown experiment (shorthand for naming 'breakdown')")
+	sweepFam := flag.Bool("sweep", false,
+		"run the design-space exploration family (shorthand for naming 'sweep calibration')")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: validate [-j N] [-list] [-breakdown] [experiment ...]\n")
+			"usage: validate [-j N] [-list] [-breakdown] [-sweep] [experiment ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, e := range validate.Experiments() {
-			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+			fmt.Printf("%-11s %s\n", e.Name, e.Title)
 		}
 		return
 	}
@@ -57,6 +61,13 @@ func main() {
 	selected := flag.Args()
 	if *breakdown && !contains(selected, "breakdown") {
 		selected = append(selected, "breakdown")
+	}
+	if *sweepFam {
+		for _, name := range []string{"sweep", "calibration"} {
+			if !contains(selected, name) {
+				selected = append(selected, name)
+			}
+		}
 	}
 	for _, name := range selected {
 		if !suite.Has(name) {

@@ -9,6 +9,10 @@
 //
 //	GET /v1/run?machine=M&workload=W[&limit=N]   one simulation cell (JSON)
 //	GET /v1/experiment/{name}[?limit=N]          one paper experiment (text table)
+//	POST /v1/sweep                               submit a design-space sweep job (202 + ID)
+//	GET /v1/sweep                                list sweep jobs
+//	GET /v1/sweep/{id}                           poll one job; result when done
+//	DELETE /v1/sweep/{id}                        cancel a job
 //	GET /v1/machines                             registered machine models
 //	GET /v1/workloads                            registered workloads
 //	GET /healthz                                 liveness
@@ -27,6 +31,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/alpha"
@@ -151,6 +156,14 @@ type Config struct {
 	Parallelism int
 	// Machines overrides the served machine list (nil = DefaultMachines).
 	Machines []MachineSpec
+	// MaxSweepPoints bounds how many design-space points one sweep job
+	// may visit (0 = 256). Submissions over the bound fail fast at POST.
+	MaxSweepPoints int
+	// MaxSweepJobs bounds concurrently running sweep jobs (0 = 2);
+	// submissions beyond it queue, up to a small multiple, then 429.
+	MaxSweepJobs int
+	// SweepHistory bounds how many finished jobs stay pollable (0 = 64).
+	SweepHistory int
 }
 
 // Server implements the simulation service. Create with New, mount
@@ -165,6 +178,14 @@ type Server struct {
 	byWork    map[string]workloadSpec
 	sem       chan struct{}
 	latency   *metrics.Histogram
+
+	// Sweep-job state (see sweep.go): submitted jobs by ID, submission
+	// order for listing/eviction, and the running-jobs semaphore.
+	sweepMu    sync.Mutex
+	sweeps     map[string]*sweepJob
+	sweepOrder []string
+	sweepSeq   int
+	sweepSem   chan struct{}
 }
 
 // New builds a Server from the config.
@@ -174,6 +195,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 256
+	}
+	if cfg.MaxSweepJobs <= 0 {
+		cfg.MaxSweepJobs = 2
+	}
+	if cfg.SweepHistory <= 0 {
+		cfg.SweepHistory = 64
 	}
 	machines := cfg.Machines
 	if machines == nil {
@@ -193,6 +223,8 @@ func New(cfg Config) *Server {
 		wlOrder:   order,
 		byWork:    byWork,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		sweeps:    make(map[string]*sweepJob),
+		sweepSem:  make(chan struct{}, cfg.MaxSweepJobs),
 	}
 	s.latency = s.metrics.Histogram("request_seconds", metrics.DefLatencyBuckets)
 	s.metrics.Gauge("pool_capacity").Set(int64(cfg.MaxConcurrent))
@@ -213,6 +245,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/run", s.timed("run", s.handleRun))
 	mux.HandleFunc("POST /v1/run", s.timed("run", s.handleRun))
 	mux.HandleFunc("GET /v1/experiment/{name}", s.timed("experiment", s.handleExperiment))
+	mux.HandleFunc("POST /v1/sweep", s.timed("sweep", s.handleSweepSubmit))
+	mux.HandleFunc("GET /v1/sweep", s.timed("sweep", s.handleSweepList))
+	mux.HandleFunc("GET /v1/sweep/{id}", s.timed("sweep", s.handleSweepGet))
+	mux.HandleFunc("DELETE /v1/sweep/{id}", s.timed("sweep", s.handleSweepCancel))
 	return s.instrument(mux)
 }
 

@@ -1,0 +1,353 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postSweep submits a request body and returns the decoded response.
+func postSweep(t *testing.T, url string, body string) (int, sweepJobInfo) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info sweepJobInfo
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, info
+}
+
+// waitSweep polls a job until it reaches a terminal state.
+func waitSweep(t *testing.T, url, id string) sweepJobInfo {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		code, _, body := get(t, url+"/v1/sweep/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s = %d: %s", id, code, body)
+		}
+		var info sweepJobInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if terminalSweepStatus(info.Status) {
+			return info
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sweep job %s did not finish", id)
+	return sweepJobInfo{}
+}
+
+// tinySweepBody is a 2x2 grid over sim-alpha on two microbenchmarks,
+// small enough for CI smoke use (the same shape the workflow posts).
+const tinySweepBody = `{
+	"machine": "sim-alpha",
+	"axes": [
+		{"name": "rob", "field": "ROB", "values": [80, 20]},
+		{"name": "issue", "field": "IntIssueWidth", "values": [4, 2]}
+	],
+	"workloads": ["C-Ca", "M-D"],
+	"limit": 3000
+}`
+
+func TestSweepGridJob(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	code, info := postSweep(t, ts.URL, tinySweepBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweep = %d", code)
+	}
+	if info.ID == "" || info.Status == "" {
+		t.Fatalf("submit response missing id/status: %+v", info)
+	}
+	if info.Points != 4 {
+		t.Fatalf("planned points = %d, want 4", info.Points)
+	}
+
+	done := waitSweep(t, ts.URL, info.ID)
+	if done.Status != sweepDone {
+		t.Fatalf("job = %q (%s), want done", done.Status, done.Error)
+	}
+	if done.Result == nil || len(done.Result.Points) != 4 {
+		t.Fatalf("result has %d points, want 4", len(done.Result.Points))
+	}
+	for _, p := range done.Result.Points {
+		if len(p.Cells) != 2 {
+			t.Fatalf("point %q has %d cells, want 2", p.Label, len(p.Cells))
+		}
+		for _, c := range p.Cells {
+			if c.Instructions == 0 || c.Cycles == 0 {
+				t.Fatalf("point %q cell %q is empty", p.Label, c.Workload)
+			}
+		}
+	}
+	if got := done.Result.Points[0].Label; got != "rob=80 issue=4" {
+		t.Fatalf("first point label = %q", got)
+	}
+
+	// A second identical submission must be answered from the shared
+	// cache: same cell values, all cells hits.
+	_, again := postSweep(t, ts.URL, tinySweepBody)
+	rerun := waitSweep(t, ts.URL, again.ID)
+	if rerun.Status != sweepDone {
+		t.Fatalf("rerun = %q (%s)", rerun.Status, rerun.Error)
+	}
+	if rerun.Result.Stats.CacheHits != rerun.Result.Stats.Cells {
+		t.Fatalf("rerun hits = %d of %d cells, want all",
+			rerun.Result.Stats.CacheHits, rerun.Result.Stats.Cells)
+	}
+	a, _ := json.Marshal(done.Result.Points)
+	b, _ := json.Marshal(rerun.Result.Points)
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached rerun produced different point results")
+	}
+
+	// Completion metrics are visible on /metrics.
+	if got := s.Metrics().Counter("sweep_points_total").Value(); got != 8 {
+		t.Fatalf("sweep_points_total = %d, want 8", got)
+	}
+	if got := s.Metrics().Counter("sweep_cache_hits_total").Value(); got < 8 {
+		t.Fatalf("sweep_cache_hits_total = %d, want >= 8", got)
+	}
+	_, _, body := get(t, ts.URL+"/metrics")
+	for _, name := range []string{"sweep_points_total", "sweep_cache_hits_total", "sweep_jobs_total"} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	// Both jobs are listed, oldest first.
+	_, _, body = get(t, ts.URL+"/v1/sweep")
+	var jobs []sweepJobInfo
+	if err := json.Unmarshal(body, &jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != info.ID || jobs[1].ID != again.ID {
+		t.Fatalf("job list = %+v", jobs)
+	}
+}
+
+func TestSweepSensitivityJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, info := postSweep(t, ts.URL, `{
+		"machine": "sim-alpha",
+		"axes": [{"name": "rob", "field": "ROB", "values": [80, 20]}],
+		"analysis": "sensitivity",
+		"workloads": ["E-I", "M-D"],
+		"limit": 3000
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	done := waitSweep(t, ts.URL, info.ID)
+	if done.Status != sweepDone {
+		t.Fatalf("job = %q (%s)", done.Status, done.Error)
+	}
+	sens := done.Result.Sensitivity
+	if sens == nil || len(sens.Axes) != 1 || sens.Axes[0].Axis != "rob" {
+		t.Fatalf("sensitivity result = %+v", done.Result)
+	}
+	if !sens.HasRef || sens.BaselineErr == 0 {
+		t.Fatalf("sensitivity lacks reference columns: %+v", sens)
+	}
+}
+
+func TestSweepCalibrationJobDefaultSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration descent visits dozens of points")
+	}
+	_, ts := newTestServer(t)
+	code, info := postSweep(t, ts.URL, `{
+		"analysis": "calibration",
+		"workloads": ["C-Ca", "E-I", "M-D"],
+		"limit": 2000,
+		"max_rounds": 3
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	if info.Machine != "sim-initial" {
+		t.Fatalf("default calibration machine = %q, want sim-initial", info.Machine)
+	}
+	done := waitSweep(t, ts.URL, info.ID)
+	if done.Status != sweepDone {
+		t.Fatalf("job = %q (%s)", done.Status, done.Error)
+	}
+	cal := done.Result.Calibration
+	if cal == nil || done.Result.Trace == "" {
+		t.Fatalf("calibration result missing: %+v", done.Result)
+	}
+	if cal.FinalErr >= cal.StartErr {
+		t.Fatalf("descent did not improve: %.2f -> %.2f", cal.StartErr, cal.FinalErr)
+	}
+	if !strings.HasPrefix(done.Result.Trace, "start  ") {
+		t.Fatalf("trace = %q", done.Result.Trace)
+	}
+}
+
+func TestSweepCancel(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A big enough sweep that cancellation lands mid-flight.
+	code, info := postSweep(t, ts.URL, `{
+		"machine": "sim-alpha",
+		"axes": [
+			{"name": "rob", "field": "ROB", "values": [80, 70, 60, 50, 40, 30, 20, 10]},
+			{"name": "issue", "field": "IntIssueWidth", "values": [4, 3, 2, 1]}
+		],
+		"limit": 50000
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweep/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	done := waitSweep(t, ts.URL, info.ID)
+	if done.Status != sweepCanceled && done.Status != sweepDone {
+		t.Fatalf("canceled job = %q (%s)", done.Status, done.Error)
+	}
+	if done.Status == sweepDone {
+		t.Log("job finished before the cancel landed; still a legal outcome")
+	}
+}
+
+func TestSweepValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"no axes", `{"machine": "sim-alpha"}`, http.StatusBadRequest},
+		{"unknown machine", `{"machine": "sim-nope", "axes": [{"name": "a", "field": "ROB", "values": [1]}]}`, http.StatusNotFound},
+		{"unsweepable reference machine", `{"machine": "native-ds10l", "axes": [{"name": "a", "field": "ROB", "values": [1]}]}`, http.StatusBadRequest},
+		{"bad field path", `{"axes": [{"name": "a", "field": "NoSuchKnob", "values": [1]}]}`, http.StatusBadRequest},
+		{"lossy value", `{"axes": [{"name": "a", "field": "ROB", "values": [1.5]}]}`, http.StatusBadRequest},
+		{"unknown workload", `{"axes": [{"name": "a", "field": "ROB", "values": [80, 40]}], "workloads": ["nope"]}`, http.StatusNotFound},
+		{"duplicate workload", `{"axes": [{"name": "a", "field": "ROB", "values": [80, 40]}], "workloads": ["C-Ca", "C-Ca"]}`, http.StatusBadRequest},
+		{"unknown strategy", `{"axes": [{"name": "a", "field": "ROB", "values": [80, 40]}], "strategy": "annealing"}`, http.StatusBadRequest},
+		{"random without samples", `{"axes": [{"name": "a", "field": "ROB", "values": [80, 40]}], "strategy": "random"}`, http.StatusBadRequest},
+		{"unknown analysis", `{"axes": [{"name": "a", "field": "ROB", "values": [80, 40]}], "analysis": "ouija"}`, http.StatusBadRequest},
+		{"unknown reference", `{"axes": [{"name": "a", "field": "ROB", "values": [80, 40]}], "analysis": "sensitivity", "reference": "sim-nope"}`, http.StatusNotFound},
+		{"calibration needs axes for non-initial machines", `{"machine": "sim-alpha", "analysis": "calibration"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _ := postSweep(t, ts.URL, tc.body)
+			if code != tc.code {
+				t.Fatalf("POST %s = %d, want %d", tc.name, code, tc.code)
+			}
+		})
+	}
+
+	// Unknown job IDs are 404 on both poll and cancel.
+	code, _, _ := get(t, ts.URL+"/v1/sweep/s-999999")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweep/s-999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d", resp.StatusCode)
+	}
+}
+
+func TestSweepPointBudget(t *testing.T) {
+	s := New(Config{MaxSweepPoints: 3, Parallelism: 1})
+	_, code, err := s.planSweep(sweepRequest{
+		Machine: "sim-alpha",
+		Axes: []sweepAxis{
+			{Name: "rob", Field: "ROB", Values: []any{80.0, 40.0}},
+			{Name: "issue", Field: "IntIssueWidth", Values: []any{4.0, 2.0}},
+		},
+	})
+	if code != http.StatusBadRequest || err == nil {
+		t.Fatalf("over-budget grid = %d, %v", code, err)
+	}
+	// Random sampling inside the budget is accepted over the same space.
+	plan, code, err := s.planSweep(sweepRequest{
+		Machine: "sim-alpha",
+		Axes: []sweepAxis{
+			{Name: "rob", Field: "ROB", Values: []any{80.0, 40.0}},
+			{Name: "issue", Field: "IntIssueWidth", Values: []any{4.0, 2.0}},
+		},
+		Strategy: "random", Seed: 1, Samples: 3,
+	})
+	if err != nil {
+		t.Fatalf("in-budget random = %d, %v", code, err)
+	}
+	if len(plan.pts) != 3 {
+		t.Fatalf("random planned %d points, want 3", len(plan.pts))
+	}
+	// Calibration budgets its worst case: 1 + rounds × Σ|values|.
+	_, code, err = s.planSweep(sweepRequest{Analysis: "calibration", MaxRounds: 2})
+	if code != http.StatusBadRequest || err == nil {
+		t.Fatalf("over-budget calibration = %d, %v", code, err)
+	}
+}
+
+func TestSweepQueueBound(t *testing.T) {
+	s := New(Config{MaxSweepJobs: 1, Parallelism: 1})
+	// Fill the active set directly (never started, so nothing runs).
+	s.sweepMu.Lock()
+	for i := 0; i < s.cfg.MaxSweepJobs*sweepQueueFactor; i++ {
+		id := fmt.Sprintf("s-%06d", i+1)
+		s.sweeps[id] = &sweepJob{id: id, status: sweepQueued, cancel: func() {}}
+		s.sweepOrder = append(s.sweepOrder, id)
+	}
+	s.sweepMu.Unlock()
+
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	code, _ := postSweep(t, ts.URL, `{"axes": [{"name": "rob", "field": "ROB", "values": [80, 40]}], "workloads": ["C-Ca"], "limit": 1000}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-bound submit = %d, want 429", code)
+	}
+}
+
+func TestSweepHistoryEviction(t *testing.T) {
+	s := New(Config{SweepHistory: 2, Parallelism: 1})
+	s.sweepMu.Lock()
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("s-%06d", i+1)
+		st := sweepDone
+		if i == 0 {
+			st = sweepRunning // live jobs are never evicted
+		}
+		s.sweeps[id] = &sweepJob{id: id, status: st, cancel: func() {}}
+		s.sweepOrder = append(s.sweepOrder, id)
+	}
+	s.evictSweepHistoryLocked()
+	order := append([]string(nil), s.sweepOrder...)
+	s.sweepMu.Unlock()
+
+	if len(order) != 2 {
+		t.Fatalf("history kept %d jobs %v, want 2", len(order), order)
+	}
+	if order[0] != "s-000001" || order[1] != "s-000004" {
+		t.Fatalf("history = %v, want running oldest + newest done", order)
+	}
+}

@@ -51,13 +51,36 @@ func KeyOf(parts ...string) Key {
 }
 
 // Fingerprint renders an arbitrary configuration value into a
-// canonical, deterministic string: struct fields in declaration
-// order, map keys sorted, pointers and interfaces dereferenced.
-// Function, channel and unsafe-pointer values — machine configs carry
-// factory closures — contribute only their type and nil-ness, never
-// an address, so the fingerprint is stable across processes. Two
-// configurations with equal observable content always fingerprint
-// identically; use the result as a KeyOf part.
+// canonical, deterministic string for use as a KeyOf part. The
+// rendering is defined by what it observes and — just as load-bearing
+// for cache correctness — what it deliberately skips:
+//
+//   - Struct fields are rendered in declaration order. Unexported
+//     fields are SKIPPED entirely: they are private state, not
+//     observable configuration, so two values differing only in
+//     unexported fields fingerprint identically. Never carry
+//     semantics a cache key must distinguish in an unexported field.
+//   - Pointers and interfaces are dereferenced; only the pointee's
+//     content is rendered, never its address, so two pointers to
+//     equal values alias (that is the point: content addressing).
+//     Nil renders as "<nil>".
+//   - Function, channel, and unsafe-pointer values — machine configs
+//     carry factory closures such as alpha.Config.NewMapper —
+//     contribute only their static type and nil-ness. Two DIFFERENT
+//     non-nil closures of the same type therefore fingerprint
+//     identically. Callers that mutate such fields between runs must
+//     not rely on the fingerprint to tell the variants apart; this is
+//     why sweep.Space.Check rejects axes over fingerprint-opaque
+//     fields outright.
+//   - Map entries are sorted by their rendered form; slices and
+//     arrays keep element order.
+//   - Floats render in shortest 64-bit round-trip form, so equal
+//     values fingerprint equally regardless of how they were written.
+//
+// Under that contract, two configurations with equal observable
+// (exported, non-opaque) content always fingerprint identically, and
+// any change to a single exported scalar field — a mutated sweep
+// point — always changes the fingerprint.
 func Fingerprint(v any) string {
 	var b strings.Builder
 	writeCanonical(&b, reflect.ValueOf(v))

@@ -203,6 +203,94 @@ func TestFingerprintDeterministic(t *testing.T) {
 	}
 }
 
+// TestFingerprintSkipsUnexportedFields pins the skip side of the
+// contract: unexported fields are not observable content, so values
+// differing only there fingerprint identically — and must therefore
+// never carry semantics a cache key has to distinguish.
+func TestFingerprintSkipsUnexportedFields(t *testing.T) {
+	type cfg struct {
+		Size    int
+		scratch int // private state, deliberately invisible
+	}
+	a := cfg{Size: 8, scratch: 1}
+	b := cfg{Size: 8, scratch: 99}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("unexported field leaked into the fingerprint")
+	}
+	if Fingerprint(a) == Fingerprint(cfg{Size: 9, scratch: 1}) {
+		t.Fatal("exported field change did not change the fingerprint")
+	}
+}
+
+// TestFingerprintDereferencesPointers pins content addressing through
+// pointers: the pointee's content is rendered, never its address, and
+// nil renders distinctly.
+func TestFingerprintDereferencesPointers(t *testing.T) {
+	type inner struct{ N int }
+	type cfg struct{ P *inner }
+	x, y := &inner{N: 7}, &inner{N: 7}
+	if Fingerprint(cfg{P: x}) != Fingerprint(cfg{P: y}) {
+		t.Fatal("distinct pointers to equal content fingerprint differently")
+	}
+	v := inner{N: 7}
+	if Fingerprint(&v) != Fingerprint(v) {
+		t.Fatal("top-level pointer is not dereferenced")
+	}
+	if Fingerprint(cfg{P: x}) == Fingerprint(cfg{}) {
+		t.Fatal("nil pointer aliases a populated one")
+	}
+	if Fingerprint(cfg{P: x}) == Fingerprint(cfg{P: &inner{N: 8}}) {
+		t.Fatal("pointee content change did not change the fingerprint")
+	}
+}
+
+// TestFingerprintOpaqueKinds pins the documented caveat: funcs (and
+// channels) render by type and nil-ness only, so two different
+// closures of one type alias. Sweep axes over such fields are
+// rejected by sweep.Space.Check for exactly this reason.
+func TestFingerprintOpaqueKinds(t *testing.T) {
+	type cfg struct{ New func() int }
+	f1 := cfg{New: func() int { return 1 }}
+	f2 := cfg{New: func() int { return 2 }}
+	if Fingerprint(f1) != Fingerprint(f2) {
+		t.Fatal("distinct closures of one type fingerprint differently (addresses leaked)")
+	}
+	if Fingerprint(f1) == Fingerprint(cfg{}) {
+		t.Fatal("nil and non-nil funcs alias")
+	}
+}
+
+// TestFingerprintSweepMutationsDistinct walks every scalar knob a
+// sweep commonly mutates on the real alpha config and requires each
+// single-field mutation to produce a distinct fingerprint — the
+// property that keeps one sweep point's cached cells from being
+// served for another's.
+func TestFingerprintSweepMutationsDistinct(t *testing.T) {
+	base := Fingerprint(alpha.DefaultConfig())
+	seen := map[string]string{"base": base}
+	mutations := map[string]func(*alpha.Config){
+		"ROB":             func(c *alpha.Config) { c.ROB /= 2 },
+		"IntIssueWidth":   func(c *alpha.Config) { c.IntIssueWidth = 2 },
+		"RenameRegs":      func(c *alpha.Config) { c.RenameRegs /= 2 },
+		"Hier.L2.HitLat":  func(c *alpha.Config) { c.Hier.L2.HitLatency *= 2 },
+		"DRAM.CASCycles":  func(c *alpha.Config) { c.DRAM.CASCycles *= 2 },
+		"DRAM.OpenPage":   func(c *alpha.Config) { c.DRAM.OpenPage = !c.DRAM.OpenPage },
+		"Tour.GlobalHist": func(c *alpha.Config) { c.Tour.GlobalHistBits = 2 },
+		"Bugs.LateBranch": func(c *alpha.Config) { c.Bugs.LateBranchRecovery = true },
+	}
+	for name, mutate := range mutations {
+		c := alpha.DefaultConfig()
+		mutate(&c)
+		fp := Fingerprint(c)
+		for prev, prevFP := range seen {
+			if fp == prevFP {
+				t.Errorf("mutation %q fingerprints identically to %q", name, prev)
+			}
+		}
+		seen[name] = fp
+	}
+}
+
 func TestFingerprintMapOrderIndependent(t *testing.T) {
 	m1 := map[string]uint64{"a": 1, "b": 2, "c": 3}
 	m2 := map[string]uint64{"c": 3, "b": 2, "a": 1}

@@ -1,0 +1,336 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/stats"
+)
+
+// ValueEffect is the measured effect of moving one axis to one
+// alternative value, all other axes held at baseline.
+type ValueEffect struct {
+	Label string `json:"label"`
+	// MeanPctDelta is the signed mean percent CPI change vs the
+	// baseline point across the suite; MeanAbsPctDelta is the mean of
+	// the absolute per-workload changes (a knob that speeds some
+	// workloads up and slows others down still registers).
+	MeanPctDelta    float64 `json:"mean_pct_delta"`
+	MeanAbsPctDelta float64 `json:"mean_abs_pct_delta"`
+	// ErrVsRef is the mean |percent CPI error| against the reference
+	// at this value (only meaningful when a reference was given).
+	ErrVsRef float64 `json:"err_vs_ref"`
+	// TopComponent names the CPI-stack component whose mean
+	// contribution moved the most, with the signed move in CPI —
+	// the "which part of the pipeline does this knob touch" readout.
+	TopComponent      string  `json:"top_component,omitempty"`
+	TopComponentDelta float64 `json:"top_component_delta"`
+}
+
+// AxisReport aggregates one axis's effects, the generalization of
+// the paper's Table 5 single-feature-attribution columns.
+type AxisReport struct {
+	Axis     string `json:"axis"`
+	Baseline string `json:"baseline"` // baseline value label
+	// MeanAbsPctDelta averages |%ΔCPI| over every (alternative value ×
+	// workload) pair; MaxAbsPctDelta is the single largest move.
+	MeanAbsPctDelta float64 `json:"mean_abs_pct_delta"`
+	MaxAbsPctDelta  float64 `json:"max_abs_pct_delta"`
+	// BestValue minimizes error against the reference among all of
+	// the axis's values (including baseline); BestErr is that error.
+	// Only meaningful when a reference was given.
+	BestValue string        `json:"best_value,omitempty"`
+	BestErr   float64       `json:"best_err"`
+	Values    []ValueEffect `json:"values"` // alternatives, in axis value order
+}
+
+// SensitivityResult ranks the axes of a space by how much they move
+// CPI — "which knob explains the error".
+type SensitivityResult struct {
+	BaselineLabel string `json:"baseline_label"`
+	// HasRef reports whether error-vs-reference columns are populated.
+	HasRef      bool    `json:"has_ref"`
+	BaselineErr float64 `json:"baseline_err"`
+	// Axes are ranked by MeanAbsPctDelta, largest first (ties keep
+	// axis declaration order).
+	Axes  []AxisReport `json:"axes"`
+	Stats Stats        `json:"stats"`
+}
+
+// Sensitivity explores the space one factor at a time around the
+// baseline point and ranks every axis by CPI impact. When ref is
+// non-nil (the reference machine's results over the same suite, in
+// the same workload order), each value also reports the calibration
+// objective, so the ranking doubles as "which knob, moved alone,
+// closes the most error".
+func Sensitivity(ctx context.Context, e *Engine, s *Space, baseline Point, ref []core.RunResult) (*SensitivityResult, error) {
+	if baseline == nil {
+		baseline = s.Origin()
+	}
+	pts, err := (OneFactorAtATime{Baseline: baseline}).Enumerate(s)
+	if err != nil {
+		return nil, err
+	}
+	prs, st, err := e.Run(ctx, s, pts)
+	if err != nil {
+		return nil, err
+	}
+	base := prs[0]
+
+	out := &SensitivityResult{
+		BaselineLabel: base.Label,
+		HasRef:        ref != nil,
+		Stats:         st,
+	}
+	if ref != nil {
+		out.BaselineErr = MeanAbsCPIError(base.Results, ref)
+	}
+
+	// OFAT enumeration order: axis by axis, value by value, baseline
+	// value skipped. Walk the alternative results in lockstep.
+	next := 1
+	for ai, a := range s.Axes {
+		rep := AxisReport{
+			Axis:     a.Name,
+			Baseline: s.ValueLabel(ai, baseline[ai]),
+		}
+		if ref != nil {
+			rep.BestValue = rep.Baseline
+			rep.BestErr = out.BaselineErr
+		}
+		var allAbs []float64
+		for vi := range a.Values {
+			if vi == baseline[ai] {
+				continue
+			}
+			alt := prs[next]
+			next++
+			eff := ValueEffect{Label: s.ValueLabel(ai, vi)}
+			var deltas []float64
+			for wi := range base.Results {
+				d := stats.PctChange(base.Results[wi].CPI(), alt.Results[wi].CPI())
+				deltas = append(deltas, d)
+				allAbs = append(allAbs, d)
+			}
+			eff.MeanPctDelta = stats.Mean(deltas)
+			eff.MeanAbsPctDelta = stats.MeanAbs(deltas)
+			for _, d := range deltas {
+				if d < 0 {
+					d = -d
+				}
+				if d > rep.MaxAbsPctDelta {
+					rep.MaxAbsPctDelta = d
+				}
+			}
+			eff.TopComponent, eff.TopComponentDelta = topComponentShift(base.Results, alt.Results)
+			if ref != nil {
+				eff.ErrVsRef = MeanAbsCPIError(alt.Results, ref)
+				if eff.ErrVsRef < rep.BestErr {
+					rep.BestErr = eff.ErrVsRef
+					rep.BestValue = eff.Label
+				}
+			}
+			rep.Values = append(rep.Values, eff)
+		}
+		rep.MeanAbsPctDelta = stats.MeanAbs(allAbs)
+		out.Axes = append(out.Axes, rep)
+	}
+	sort.SliceStable(out.Axes, func(i, j int) bool {
+		return out.Axes[i].MeanAbsPctDelta > out.Axes[j].MeanAbsPctDelta
+	})
+	return out, nil
+}
+
+// topComponentShift finds the CPI-stack component whose mean
+// per-instruction contribution moved the most between two result
+// sets, returning its canonical name and the signed CPI move.
+// Results without breakdowns report an empty component.
+func topComponentShift(base, alt []core.RunResult) (string, float64) {
+	name, signed, best := "", 0.0, -1.0
+	for c := events.Component(0); c < events.NumComponents; c++ {
+		var deltas []float64
+		for i := range base {
+			if base[i].Breakdown == nil || alt[i].Breakdown == nil {
+				continue
+			}
+			deltas = append(deltas, alt[i].ComponentCPI(c)-base[i].ComponentCPI(c))
+		}
+		if len(deltas) == 0 {
+			continue
+		}
+		m := stats.Mean(deltas)
+		abs := m
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs > best {
+			best, signed, name = abs, m, c.Name()
+		}
+	}
+	return name, signed
+}
+
+// CalStep is one accepted coordinate-descent move.
+type CalStep struct {
+	Round int    `json:"round"`
+	Axis  string `json:"axis"`
+	From  string `json:"from"`
+	To    string `json:"to"`
+	// Err is the objective after the move.
+	Err float64 `json:"err"`
+}
+
+// CalibrationResult is a full coordinate-descent run: where it
+// started, where it converged, and every accepted move in order.
+type CalibrationResult struct {
+	StartLabel string    `json:"start_label"`
+	FinalLabel string    `json:"final_label"`
+	Start      Point     `json:"start"`
+	Final      Point     `json:"final"`
+	StartErr   float64   `json:"start_err"`
+	FinalErr   float64   `json:"final_err"`
+	Steps      []CalStep `json:"steps"`
+	Rounds     int       `json:"rounds"`
+	// Converged reports that the final round proposed no move (as
+	// opposed to stopping at the round bound).
+	Converged bool  `json:"converged"`
+	Stats     Stats `json:"stats"`
+}
+
+// Improvement returns the percent reduction of the objective.
+func (r *CalibrationResult) Improvement() float64 {
+	if r.StartErr == 0 {
+		return 0
+	}
+	return (r.StartErr - r.FinalErr) / r.StartErr * 100
+}
+
+// Trace renders the convergence trace deterministically: the same
+// space, start point, reference and engine settings always produce
+// byte-identical output, at any parallelism.
+func (r *CalibrationResult) Trace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start  %-s\n", r.StartLabel)
+	fmt.Fprintf(&b, "       mean |CPI err| = %.2f%%\n", r.StartErr)
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "round %d  %-9s %s -> %-6s err %.2f%%\n",
+			s.Round, s.Axis, s.From, s.To, s.Err)
+	}
+	state := "converged"
+	if !r.Converged {
+		state = "round bound reached"
+	}
+	fmt.Fprintf(&b, "final  %-s\n", r.FinalLabel)
+	fmt.Fprintf(&b, "       mean |CPI err| = %.2f%% (%.1f%% reduction, %d rounds, %s)\n",
+		r.FinalErr, r.Improvement(), r.Rounds, state)
+	return b.String()
+}
+
+// Calibrate runs coordinate descent over the space, minimizing the
+// mean |percent CPI error| against the reference results (same suite,
+// same workload order as the engine's). Each round visits every axis
+// in declaration order, evaluates all of its values with the other
+// coordinates held fixed (cache-amortized: the incumbent value is
+// always a cache hit), and accepts the strict improvement with the
+// lowest value index. Descent stops after a round with no accepted
+// move, or after maxRounds (<=0 means 10).
+func Calibrate(ctx context.Context, e *Engine, s *Space, start Point, ref []core.RunResult, maxRounds int) (*CalibrationResult, error) {
+	if len(ref) != len(e.Workloads) {
+		return nil, fmt.Errorf("sweep: reference has %d results, suite has %d workloads", len(ref), len(e.Workloads))
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	if start == nil {
+		start = s.Origin()
+	}
+	cur := start.Clone()
+
+	prs, st, err := e.Run(ctx, s, []Point{cur})
+	if err != nil {
+		return nil, err
+	}
+	out := &CalibrationResult{
+		StartLabel: prs[0].Label,
+		Start:      start.Clone(),
+		StartErr:   MeanAbsCPIError(prs[0].Results, ref),
+		Stats:      st,
+	}
+	curErr := out.StartErr
+
+	for round := 1; round <= maxRounds; round++ {
+		out.Rounds = round
+		moved := false
+		for ai, a := range s.Axes {
+			if len(a.Values) < 2 {
+				continue
+			}
+			cands := make([]Point, len(a.Values))
+			for vi := range a.Values {
+				p := cur.Clone()
+				p[ai] = vi
+				cands[vi] = p
+			}
+			crs, cst, err := e.Run(ctx, s, cands)
+			if err != nil {
+				return nil, err
+			}
+			out.Stats.Add(cst)
+			best, bestErr := cur[ai], curErr
+			for vi := range a.Values {
+				if err := MeanAbsCPIError(crs[vi].Results, ref); err < bestErr {
+					best, bestErr = vi, err
+				}
+			}
+			if best != cur[ai] {
+				out.Steps = append(out.Steps, CalStep{
+					Round: round,
+					Axis:  a.Name,
+					From:  s.ValueLabel(ai, cur[ai]),
+					To:    s.ValueLabel(ai, best),
+					Err:   bestErr,
+				})
+				cur[ai] = best
+				curErr = bestErr
+				moved = true
+			}
+		}
+		if !moved {
+			out.Converged = true
+			break
+		}
+	}
+	out.Final = cur.Clone()
+	out.FinalLabel = s.Label(cur)
+	out.FinalErr = curErr
+	return out, nil
+}
+
+// SimInitialBugSpace is the paper's Section 3.4 exercise as a design
+// space: every modeling bug catalogued in sim-initial becomes a
+// boolean axis over the sim-initial base configuration, so coordinate
+// descent against the native reference replays the sim-initial →
+// sim-alpha tuning as a convergence trace.
+func SimInitialBugSpace() *Space {
+	return &Space{
+		Base: alpha.SimInitial(),
+		Axes: []Axis{
+			Bools("latebr", "Bugs.LateBranchRecovery", true, false),
+			Bools("waypred", "Bugs.ExtraWayPredCycle", true, false),
+			Bools("nospec", "Bugs.NoSpecUpdate", true, false),
+			Bools("octsq", "Bugs.OctawordSquashPenalty", true, false),
+			Bools("jmpflush", "Bugs.CheapJmpFlush", true, false),
+			Bools("unops", "Bugs.UnopsConsumeIssue", true, false),
+			Bools("fumix", "Bugs.WrongFUMix", true, false),
+			Bools("sched", "Bugs.AggressiveScheduler", true, false),
+			Bools("trapcmp", "Bugs.CoarseTrapCompare", true, false),
+			Bools("regread", "Bugs.ExtraRegreadCycle", true, false),
+			Bools("luserec", "Bugs.CheapLoadUseRecovery", true, false),
+		},
+	}
+}

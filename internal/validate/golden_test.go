@@ -69,6 +69,27 @@ func TestGoldenBreakdown(t *testing.T) {
 	checkGolden(t, "breakdown", out.String())
 }
 
+// TestGoldenSweep and TestGoldenCalibration cover the design-space
+// exploration experiments (also outside the results_full.txt nine).
+// Both must render byte-identically at any parallelism; calibration
+// runs at the table5 operating point since coordinate descent visits
+// hundreds of cells.
+func TestGoldenSweep(t *testing.T) {
+	out, err := Sweep(goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sweep", out.String())
+}
+
+func TestGoldenCalibration(t *testing.T) {
+	out, err := Calibration(Options{Limit: 8_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "calibration", out.String())
+}
+
 // checkGolden compares a rendering against its blessed file in
 // testdata/, rewriting the file under -update.
 func checkGolden(t *testing.T, name, got string) {

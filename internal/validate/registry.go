@@ -42,6 +42,10 @@ var registry = []Experiment{
 		func(o Options) (fmt.Stringer, error) { return MappingStudy(o) }},
 	{"breakdown", "CPI-stack attribution across machine models",
 		func(o Options) (fmt.Stringer, error) { return Breakdown(o) }},
+	{"sweep", "Design-space sensitivity sweep (one factor at a time)",
+		func(o Options) (fmt.Stringer, error) { return Sweep(o) }},
+	{"calibration", "Auto-calibration: coordinate descent sim-initial -> native",
+		func(o Options) (fmt.Stringer, error) { return Calibration(o) }},
 }
 
 // Experiments returns every registered experiment in paper order.

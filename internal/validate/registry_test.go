@@ -9,7 +9,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "sampling", "memcal",
 		"table3", "table4", "table5", "figure2", "mapping",
-		"breakdown",
+		"breakdown", "sweep", "calibration",
 	}
 	got := ExperimentNames()
 	if len(got) != len(want) {
@@ -32,6 +32,48 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := ExperimentByName("table9"); ok {
 		t.Error("ExperimentByName invented an experiment")
+	}
+}
+
+// TestExperimentByNameUnknown pins the miss behavior every consumer
+// (cmd/validate's argument check, the service's 404 path) relies on:
+// unknown, empty, and case-mangled names all return ok=false with a
+// zero Experiment.
+func TestExperimentByNameUnknown(t *testing.T) {
+	for _, name := range []string{"", "nope", "Table2", "TABLE2", "table2 ", " sweep"} {
+		e, ok := ExperimentByName(name)
+		if ok {
+			t.Errorf("ExperimentByName(%q) = %q, want miss", name, e.Name)
+		}
+		if e.Name != "" || e.Title != "" || e.Run != nil {
+			t.Errorf("ExperimentByName(%q) miss returned non-zero Experiment %+v", name, e)
+		}
+	}
+}
+
+// TestRegistryNamesUnique guards the property ExperimentByName's
+// first-match lookup depends on: duplicate names would silently
+// shadow an experiment everywhere it is addressed by name.
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range Experiments() {
+		if e.Name == "" {
+			t.Error("registry contains an unnamed experiment")
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment name %q in registry", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+// TestExperimentsReturnsCopy makes sure callers cannot corrupt the
+// registry through the returned slice.
+func TestExperimentsReturnsCopy(t *testing.T) {
+	a := Experiments()
+	a[0] = Experiment{Name: "clobbered"}
+	if b := Experiments(); b[0].Name == "clobbered" {
+		t.Error("Experiments exposes the registry's backing array")
 	}
 }
 
