@@ -117,6 +117,61 @@ func BenchmarkFigure2(b *testing.B) {
 	}
 }
 
+// The sampled-vs-full pair measures the sampling subsystem's cost
+// reduction at a realistic operating point: the longest
+// macrobenchmark (gcc, ~810k dynamic instructions) near full length.
+// BenchmarkGccFull is the baseline; BenchmarkGccSampled runs the same
+// stream under the interval schedule and reports the detailed
+// instructions actually simulated — the acceptance bar is a >= 5x
+// reduction at <= 2% CPI error (asserted by TestSampledOperatingPoint
+// in invariants_test.go).
+
+const (
+	sampledBenchLimit = 750_000
+)
+
+// sampledBenchPlan is the gcc operating point: ten 75k-instruction
+// periods, 15k detailed each (3:1 warmup:measure), 20% detail = 5x.
+var sampledBenchPlan = SamplePlan{Period: 75_000, Warmup: 11_250, Measure: 3_750}
+
+func gccWorkload(b *testing.B) Workload {
+	w, ok := WorkloadByName("gcc")
+	if !ok {
+		b.Fatal("no gcc workload")
+	}
+	w.MaxInstructions = sampledBenchLimit
+	return w
+}
+
+func BenchmarkGccFull(b *testing.B) {
+	m := SimAlpha()
+	w := gccWorkload(b)
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = res.Instructions
+	}
+	b.ReportMetric(float64(insts), "detailed_insts")
+}
+
+func BenchmarkGccSampled(b *testing.B) {
+	m := SimAlpha()
+	w := gccWorkload(b)
+	var est SampledEstimates
+	for i := 0; i < b.N; i++ {
+		var err error
+		est, err = RunSampled(m, w, sampledBenchPlan)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(est.DetailedInstructions()), "detailed_insts")
+	b.ReportMetric(est.Speedup(), "speedup")
+}
+
 // BenchmarkSimAlphaThroughput measures the simulator itself: dynamic
 // instructions simulated per second on the validated model.
 func BenchmarkSimAlphaThroughput(b *testing.B) {

@@ -6,7 +6,8 @@
 //
 // Commands:
 //
-//	run [-m machine] [-limit N] [-json] [-breakdown] workload...
+//	run [-m machine] [-limit N] [-json] [-breakdown] [-sample] [-sample-period N]
+//	    [-sample-warmup N] [-sample-measure N] [-sample-intervals N] workload...
 //	                                          simulate cells, print a result table
 //	experiment [-json] name...                print experiment tables (as cmd/validate)
 //	sweep [-m machine] [-analysis A] [-strategy S] [-limit N] [-json] [...] axis...
@@ -20,7 +21,10 @@
 // -json switches output to machine-readable JSON (one object per
 // line; for machines/workloads/sweep, the service body verbatim);
 // pretty text stays the default. -breakdown adds each run's CPI stack
-// to the text table.
+// to the text table. -sample requests interval sampling: the run
+// reports a CPI estimate with its 95% confidence interval and the
+// detailed-instruction reduction; the -sample-* knobs override the
+// service's default schedule.
 //
 // A sweep axis is "name=Field:v1,v2,..." — a display name, a
 // dot-path into the machine's config struct, and the candidate
@@ -54,7 +58,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: probe [-addr host:port] <command> [args]
 
 commands:
-  run [-m machine] [-limit N] [-json] [-breakdown] workload...
+  run [-m machine] [-limit N] [-json] [-breakdown] [-sample] [-sample-period N]
+      [-sample-warmup N] [-sample-measure N] [-sample-intervals N] workload...
                                             simulate cells, print a result table
   experiment [-json] name...                print experiment tables (as cmd/validate)
   sweep [-m machine] [-analysis A] [-strategy S] [-limit N] [-json] [...] axis...
@@ -106,6 +111,22 @@ type runResponse struct {
 	IPC          float64       `json:"ipc"`
 	CPI          float64       `json:"cpi"`
 	Breakdown    *events.Stack `json:"breakdown"`
+	Sampled      *struct {
+		Plan struct {
+			Period  uint64 `json:"period"`
+			Warmup  uint64 `json:"warmup"`
+			Measure uint64 `json:"measure"`
+		} `json:"plan"`
+		Intervals int `json:"intervals"`
+		CPI       struct {
+			Mean  float64 `json:"mean"`
+			Half  float64 `json:"half"`
+			Level float64 `json:"level"`
+		} `json:"cpi"`
+		DetailedInstructions uint64  `json:"detailed_instructions"`
+		StreamInstructions   uint64  `json:"stream_instructions"`
+		Speedup              float64 `json:"speedup"`
+	} `json:"sampled"`
 }
 
 func main() {
@@ -158,6 +179,11 @@ func cmdRun(c *client, args []string) error {
 	limit := fs.Uint64("limit", 0, "dynamic instruction cap (0 = workload length)")
 	asJSON := fs.Bool("json", false, "print the raw JSON response, one object per line")
 	breakdown := fs.Bool("breakdown", false, "print each run's CPI stack under its row")
+	sampled := fs.Bool("sample", false, "run under interval sampling (default schedule)")
+	samplePeriod := fs.Uint64("sample-period", 0, "sampling period in instructions")
+	sampleWarmup := fs.Uint64("sample-warmup", 0, "detailed warmup instructions per interval")
+	sampleMeasure := fs.Uint64("sample-measure", 0, "measured instructions per interval")
+	sampleIntervals := fs.Int("sample-intervals", 0, "stop after N measured intervals")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("run: at least one workload is required")
@@ -171,6 +197,19 @@ func cmdRun(c *client, args []string) error {
 		q := url.Values{"machine": {*machine}, "workload": {w}}
 		if *limit > 0 {
 			q.Set("limit", fmt.Sprint(*limit))
+		}
+		if *sampled {
+			q.Set("sample", "1")
+		}
+		for name, v := range map[string]uint64{
+			"sample_period":    *samplePeriod,
+			"sample_warmup":    *sampleWarmup,
+			"sample_measure":   *sampleMeasure,
+			"sample_intervals": uint64(*sampleIntervals),
+		} {
+			if v > 0 {
+				q.Set(name, fmt.Sprint(v))
+			}
 		}
 		body, status, err := c.get("/v1/run?" + q.Encode())
 		if err != nil {
@@ -188,6 +227,12 @@ func cmdRun(c *client, args []string) error {
 		}
 		fmt.Printf("%-14s %-10s %12d %12d %7.3f %7.3f  %s\n",
 			r.Machine, r.Workload, r.Instructions, r.Cycles, r.IPC, r.CPI, status)
+		if s := r.Sampled; s != nil {
+			fmt.Printf("  %-12s cpi %.3f ±%.3f (%d%% CI, %d intervals, plan %d/%d/%d) detail %d/%d insts, %.1fx\n",
+				"sampled", s.CPI.Mean, s.CPI.Half, int(100*s.CPI.Level), s.Intervals,
+				s.Plan.Period, s.Plan.Warmup, s.Plan.Measure,
+				s.DetailedInstructions, s.StreamInstructions, s.Speedup)
+		}
 		if *breakdown && r.Breakdown != nil {
 			printBreakdown(r)
 		}

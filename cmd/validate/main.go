@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	validate [-j N] [-list] [-breakdown] [-sweep] [experiment ...]
+//	validate [-j N] [-list] [-breakdown] [-sweep] [-sample] [experiment ...]
 //
 // With no experiment arguments it runs everything in paper order;
 // otherwise it runs only the named experiments. -list prints the
@@ -11,7 +11,9 @@
 // -breakdown adds the CPI-breakdown experiment to the selection (with
 // no other selection, it runs alone). -sweep likewise adds the
 // design-space exploration family: the sensitivity sweep and the
-// sim-initial auto-calibration.
+// sim-initial auto-calibration. -sample adds the sampled-simulation
+// experiment: interval sampling vs full detail with confidence
+// intervals.
 //
 // -j sets how many simulation cells run concurrently (default: all
 // CPUs). Output is byte-identical at every -j because results are
@@ -39,9 +41,11 @@ func main() {
 		"run the CPI-breakdown experiment (shorthand for naming 'breakdown')")
 	sweepFam := flag.Bool("sweep", false,
 		"run the design-space exploration family (shorthand for naming 'sweep calibration')")
+	sampled := flag.Bool("sample", false,
+		"run the sampled-simulation experiment (shorthand for naming 'sampled')")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: validate [-j N] [-list] [-breakdown] [-sweep] [experiment ...]\n")
+			"usage: validate [-j N] [-list] [-breakdown] [-sweep] [-sample] [experiment ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,6 +72,9 @@ func main() {
 				selected = append(selected, name)
 			}
 		}
+	}
+	if *sampled && !contains(selected, "sampled") {
+		selected = append(selected, "sampled")
 	}
 	for _, name := range selected {
 		if !suite.Has(name) {

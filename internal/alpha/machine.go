@@ -36,19 +36,44 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // Run implements core.Machine.
 func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
-	s := newSim(m.cfg, w.Source())
+	cur := core.NewSampleCursor(w.Sample)
+	s := newSim(m.cfg, cur.Wrap(w.Source()))
+	s.cur = cur
+	cur.SetSync(func(c *events.Collector) {
+		c.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
+		c.Set(events.Prefetches, s.hier.Prefetches)
+	})
+	// Functional warming: during sampling skips, run every record
+	// through the caches (per-line on the I-side, as fetch does) and
+	// the direction predictor, so measured windows see stale-warm
+	// structures instead of ones frozen at the previous interval.
+	warmLine := uint64(1) << 63
+	cur.SetWarm(func(rec cpu.Record) {
+		if line := rec.PC &^ 63; line != warmLine {
+			s.hier.WarmInst(rec.PC)
+			warmLine = line
+		}
+		cls := rec.Inst.Op.Class()
+		if cls.IsMem() {
+			s.hier.WarmData(rec.EA, cls.IsStore())
+		} else if cls == isa.ClassCondBr {
+			s.tour.Resolve(rec.PC, rec.Taken)
+		}
+	})
 	if err := s.run(); err != nil {
 		return core.RunResult{}, fmt.Errorf("%s/%s: %w", m.cfg.MachineName, w.Name, err)
 	}
 	stack := s.col.Finish(s.cycle)
-	return core.RunResult{
+	res := core.RunResult{
 		Machine:      m.cfg.MachineName,
 		Workload:     w.Name,
 		Instructions: s.retired,
 		Cycles:       s.cycle,
 		Counters:     s.counters(),
 		Breakdown:    &stack,
-	}, nil
+	}
+	cur.Finalize(&res, events.ModelAlpha)
+	return res, nil
 }
 
 // entry is one in-flight instruction in the reorder buffer.
@@ -146,6 +171,9 @@ type sim struct {
 	// can be charged to the right CPI-stack component.
 	fetchBlockReason events.Component
 	issueBlockReason events.Component
+	// cur drives interval sampling when the workload requests it
+	// (nil — and every call on it a no-op — for full runs).
+	cur *core.SampleCursor
 
 	// DebugMispredictPCs, when non-nil, counts direction mispredicts per PC.
 	DebugMispredictPCs map[uint64]uint64
@@ -177,11 +205,11 @@ func newSim(cfg Config, src cpu.Source) *sim {
 }
 
 // counters renders the schema-defined counter map for this model
-// family, folding in the hierarchy-owned tallies. Called once, at the
-// end of a run.
+// family, folding in the hierarchy-owned tallies (by idempotent Set:
+// a sampled run has already folded them at snapshot points).
 func (s *sim) counters() map[string]uint64 {
-	s.col.Count(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
-	s.col.Count(events.Prefetches, s.hier.Prefetches)
+	s.col.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
+	s.col.Set(events.Prefetches, s.hier.Prefetches)
 	return s.col.Counters(events.ModelAlpha)
 }
 
@@ -369,6 +397,7 @@ func (s *sim) resolveAndRetire() {
 		s.count--
 		s.headInum++
 		s.retired++
+		s.cur.OnRetire(s.retired, s.cycle, &s.col)
 		n++
 	}
 }

@@ -304,3 +304,43 @@ func (h *Hierarchy) walk(vaddr uint64, now uint64) int {
 // FlushL1I empties the instruction cache (used by tests and the M-IP
 // microbenchmark validation of prefetch efficacy).
 func (h *Hierarchy) FlushL1I() { h.L1I.Reset() }
+
+// WarmInst performs one state-only instruction-side access: TLB and
+// cache-array contents, LRU and fills update exactly as a timed fetch
+// would, but none of the timing machinery (MAFs, the L2 bus, DRAM
+// banks, the prefetcher) is touched and no latency is charged.
+// Sampled simulation warms the hierarchy through functional skips
+// with these; going through the timed paths instead would queue
+// thousands of same-cycle accesses, dragging bank and miss-file
+// state far into the future and poisoning the next measured window.
+func (h *Hierarchy) WarmInst(vaddr uint64) {
+	paddr := h.translate(vaddr)
+	h.ITLB.Lookup(vaddr) // inserts on miss
+	if hit, _ := h.L1I.Probe(paddr, false); hit {
+		return
+	}
+	if hit, _ := h.L2.Probe(paddr, false); !hit {
+		h.L2.Insert(paddr, false)
+	}
+	h.L1I.Insert(paddr, false)
+}
+
+// WarmData is WarmInst's data-side counterpart, including the victim
+// buffer and dirty-state bookkeeping of a real access.
+func (h *Hierarchy) WarmData(vaddr uint64, write bool) {
+	paddr := h.translate(vaddr)
+	h.DTLB.Lookup(vaddr) // inserts on miss
+	if hit, _ := h.L1D.Probe(paddr, write); hit {
+		return
+	}
+	if h.VB != nil {
+		if hit, dirty := h.VB.Probe(h.L1D.Block(paddr)); hit {
+			h.insertL1D(paddr, dirty || write, 0)
+			return
+		}
+	}
+	if hit, _ := h.L2.Probe(paddr, write); !hit {
+		h.L2.Insert(paddr, write)
+	}
+	h.insertL1D(paddr, write, 0)
+}

@@ -31,6 +31,11 @@ type Workload struct {
 	// Category groups workloads in reports ("control", "execute",
 	// "memory", "macro", "calibration").
 	Category string
+	// Sample, when non-nil, runs the workload under systematic
+	// interval sampling instead of full detailed simulation: the
+	// machine times only the plan's warmup+measure windows and
+	// fast-forwards functionally between them. See sample.go.
+	Sample *SamplePlan
 }
 
 // Source returns a fresh dynamic instruction stream for the workload.
@@ -41,11 +46,7 @@ func (w Workload) Source() cpu.Source {
 	} else {
 		c = cpu.New(w.Prog)
 	}
-	for skipped := uint64(0); skipped < w.FastForward; skipped++ {
-		if _, ok := c.Next(); !ok {
-			break
-		}
-	}
+	cpu.Skip(c, w.FastForward)
 	if w.MaxInstructions > 0 {
 		return &cpu.Limited{Src: c, Max: w.MaxInstructions}
 	}
@@ -66,6 +67,12 @@ type RunResult struct {
 	// attributed to the component that spent it. Machine models
 	// guarantee Breakdown.Sum() == Cycles.
 	Breakdown *events.Stack
+	// Sampled, when non-nil, records that the run used interval
+	// sampling: Instructions/Cycles/Counters/Breakdown then cover only
+	// the measured windows (so CPI is the sampled estimate), and
+	// Sampled carries the plan, per-interval observations, and the
+	// detailed-vs-stream instruction accounting.
+	Sampled *SampledRun
 }
 
 // IPC returns retired instructions per cycle.

@@ -304,6 +304,20 @@ func (c *CPU) Run(limit uint64) (uint64, error) {
 	return n, nil
 }
 
+// Skip advances the source by up to n records functionally —
+// architectural state updates, no records retained — and returns how
+// many were consumed. A return below n means the source ended first.
+// This is the fast-forward primitive behind workload warmup offsets
+// and the sampling engine's inter-interval skips.
+func Skip(src Source, n uint64) uint64 {
+	for i := uint64(0); i < n; i++ {
+		if _, ok := src.Next(); !ok {
+			return i
+		}
+	}
+	return n
+}
+
 // Limited wraps a Source and stops it after max records, used to
 // bound macrobenchmark runs. The final record is delivered.
 type Limited struct {

@@ -46,6 +46,9 @@ func Measure(cfg Config, r core.RunResult) core.RunResult {
 	if cfg.IntervalCycles == 0 || r.Cycles == 0 {
 		return r
 	}
+	if r.Sampled != nil {
+		return measureSampled(cfg, r)
+	}
 	samples := r.Cycles / cfg.IntervalCycles
 	dilated := r.Cycles + samples*cfg.DilationPerSample
 
@@ -76,6 +79,62 @@ func Measure(cfg Config, r core.RunResult) core.RunResult {
 		stack := measureStack(*r.Breakdown, r.Cycles, out.Cycles, samples)
 		out.Breakdown = &stack
 	}
+	return out
+}
+
+// measureSampled applies the profiler transform to an
+// interval-sampled run: each measured window is dilated and jittered
+// independently (its jitter seeded by the workload identity and the
+// window's stream position, so the perturbation is deterministic per
+// interval) and the run totals are re-summed from the transformed
+// windows, keeping the result internally consistent — the stack still
+// sums to the cycles, and the whole-run CPI is the window aggregate.
+// Short windows see few or no profiler samples, so dilation and
+// quantization shrink toward a passthrough, exactly as a real
+// sampling profiler perturbs a short measured region less.
+func measureSampled(cfg Config, r core.RunResult) core.RunResult {
+	out := r
+	sr := *r.Sampled
+	sr.Samples = make([]core.IntervalSample, len(r.Sampled.Samples))
+	var cycles uint64
+	var stack events.Stack
+	for i, s := range r.Sampled.Samples {
+		samples := s.Cycles / cfg.IntervalCycles
+		dilated := s.Cycles + samples*cfg.DilationPerSample
+
+		h := hash64(r.Workload)*0x9e3779b97f4a7c15 ^ (s.Start + 1)
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		span := int64(2*cfg.JitterPPM + 1)
+		ppm := int64(h%uint64(span)) - int64(cfg.JitterPPM)
+		jitter := int64(s.Cycles) * ppm / 1_000_000
+
+		measured := int64(dilated) + jitter
+		if measured < 1 {
+			measured = 1
+		}
+		ms := s
+		ms.Cycles = uint64(measured)
+		ms.Breakdown = measureStack(s.Breakdown, s.Cycles, ms.Cycles, samples)
+		sr.Samples[i] = ms
+		cycles += ms.Cycles
+		for c, v := range ms.Breakdown {
+			stack[c] += v
+		}
+	}
+	out.Cycles = cycles
+	out.Breakdown = &stack
+	// Event counters are whole-run tallies; quantize them at the
+	// run-level sample count as the full-run path does.
+	if len(r.Counters) > 0 {
+		samples := r.Cycles / cfg.IntervalCycles
+		out.Counters = make(map[string]uint64, len(r.Counters))
+		for k, v := range r.Counters {
+			out.Counters[k] = quantize(v, samples)
+		}
+	}
+	out.Sampled = &sr
 	return out
 }
 

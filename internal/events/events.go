@@ -293,6 +293,39 @@ func (c *Collector) Attribute(comp Component, cycles uint64) { c.stack[comp] += 
 // Get returns one event's accumulated count.
 func (c *Collector) Get(id ID) uint64 { return c.counts[id] }
 
+// Set overwrites one event's accumulated count. It exists for
+// counters owned by a component outside the pipeline core (the memory
+// hierarchy's DRAM-access and prefetch totals): the model folds those
+// in by assignment rather than Count's accumulation, so the fold is
+// idempotent and can run both mid-run (before a sampling snapshot)
+// and at the end of the run without double counting.
+func (c *Collector) Set(id ID, n uint64) { c.counts[id] = n }
+
+// Since returns the element-wise difference c - prev over both the
+// event counts and the stack: the activity between two snapshots of
+// the same monotonically growing collector. The receiver and prev are
+// unchanged.
+func (c *Collector) Since(prev *Collector) Collector {
+	var d Collector
+	for i := range c.counts {
+		d.counts[i] = c.counts[i] - prev.counts[i]
+	}
+	for i := range c.stack {
+		d.stack[i] = c.stack[i] - prev.stack[i]
+	}
+	return d
+}
+
+// Merge adds o's counts and stack into c.
+func (c *Collector) Merge(o *Collector) {
+	for i := range c.counts {
+		c.counts[i] += o.counts[i]
+	}
+	for i := range c.stack {
+		c.stack[i] += o.stack[i]
+	}
+}
+
 // Counters renders the legacy counter map for a model: every schema
 // event applicable to the model, keyed by canonical name, zeros
 // included.

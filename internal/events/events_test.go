@@ -174,3 +174,38 @@ func TestComponentNames(t *testing.T) {
 		}
 	}
 }
+
+// TestSetSinceMerge covers the snapshot/delta machinery the sampling
+// cursor is built on: Set is idempotent assignment, Since is an exact
+// element-wise delta, and Merge re-accumulates deltas losslessly.
+func TestSetSinceMerge(t *testing.T) {
+	var c Collector
+	c.Count(DCacheMisses, 5)
+	c.Set(DRAMAccesses, 7)
+	c.Set(DRAMAccesses, 7) // idempotent: same fold twice
+	c.Attribute(CompDCache, 40)
+	if c.Get(DRAMAccesses) != 7 {
+		t.Fatalf("Set not idempotent: %d", c.Get(DRAMAccesses))
+	}
+
+	snap := c // value snapshot
+	c.Count(DCacheMisses, 3)
+	c.Set(DRAMAccesses, 9)
+	c.Attribute(CompDCache, 10)
+	c.Attribute(CompBranch, 6)
+
+	d := c.Since(&snap)
+	if d.Get(DCacheMisses) != 3 || d.Get(DRAMAccesses) != 2 {
+		t.Errorf("Since counts = %d,%d want 3,2", d.Get(DCacheMisses), d.Get(DRAMAccesses))
+	}
+	if d.stack[CompDCache] != 10 || d.stack[CompBranch] != 6 || d.stack[CompBase] != 0 {
+		t.Errorf("Since stack = %v", d.stack)
+	}
+
+	// Merging every delta back onto the snapshot reproduces c exactly.
+	sum := snap
+	sum.Merge(&d)
+	if sum != c {
+		t.Errorf("snapshot+delta != current: %+v vs %+v", sum, c)
+	}
+}

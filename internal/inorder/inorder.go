@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/events"
 	"repro/internal/isa"
@@ -74,7 +75,8 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	for i := range bimodal {
 		bimodal[i] = predict.NewSatCounter(2, 1)
 	}
-	src := w.Source()
+	cur := core.NewSampleCursor(w.Sample)
+	src := cur.Wrap(w.Source())
 
 	var cycle, retired uint64
 	// col accumulates typed event counts and CPI-stack attribution
@@ -82,6 +84,26 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	// blocking in-order pipe, attribution is direct: every stall the
 	// model adds to the cycle count is charged where it is added.
 	var col events.Collector
+	cur.SetSync(func(c *events.Collector) {
+		c.Set(events.DRAMAccesses, hier.Mem.Stats.Accesses)
+		c.Set(events.Prefetches, hier.Prefetches)
+	})
+	// Functional warming: caches and the (history-free) bimodal
+	// predictor stay warm through sampling skips.
+	warmLine := uint64(1) << 63
+	cur.SetWarm(func(rec cpu.Record) {
+		if line := rec.PC &^ 63; line != warmLine {
+			hier.WarmInst(rec.PC)
+			warmLine = line
+		}
+		cls := rec.Inst.Op.Class()
+		switch {
+		case cls.IsMem():
+			hier.WarmData(rec.EA, cls.IsStore())
+		case rec.IsBranch():
+			train(bimodal, rec.PC, rec.Taken)
+		}
+	})
 	// regReadyAt holds the cycle each architectural register's value
 	// becomes available; in-order issue waits for sources.
 	var regReadyAt [2][isa.NumRegs]uint64
@@ -160,21 +182,24 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 		}
 		cycle++ // single issue
 		retired++
+		cur.OnRetire(retired, cycle, &col)
 	}
 	if retired == 0 {
 		return core.RunResult{}, fmt.Errorf("inorder: empty instruction stream")
 	}
-	col.Count(events.DRAMAccesses, hier.Mem.Stats.Accesses)
-	col.Count(events.Prefetches, hier.Prefetches)
+	col.Set(events.DRAMAccesses, hier.Mem.Stats.Accesses)
+	col.Set(events.Prefetches, hier.Prefetches)
 	stack := col.Finish(cycle)
-	return core.RunResult{
+	res := core.RunResult{
 		Machine:      m.cfg.MachineName,
 		Workload:     w.Name,
 		Instructions: retired,
 		Cycles:       cycle,
 		Counters:     col.Counters(events.ModelInOrder),
 		Breakdown:    &stack,
-	}, nil
+	}
+	cur.Finalize(&res, events.ModelInOrder)
+	return res, nil
 }
 
 func predictTaken(t []predict.SatCounter, pc uint64) bool {

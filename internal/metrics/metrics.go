@@ -77,9 +77,9 @@ func (h *Histogram) Observe(x float64) {
 // Buckets holds cumulative counts per upper bound; the implicit +Inf
 // bucket equals Count.
 type HistogramSnapshot struct {
-	Count   uint64             `json:"count"`
-	Sum     float64            `json:"sum"`
-	Buckets map[string]uint64  `json:"buckets"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
 	bounds  []float64
 	cumul   []uint64
 }

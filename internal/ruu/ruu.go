@@ -175,21 +175,44 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // Run implements core.Machine.
 func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
-	s := newSim(m.cfg, w.Source())
+	cur := core.NewSampleCursor(w.Sample)
+	s := newSim(m.cfg, cur.Wrap(w.Source()))
+	s.cur = cur
+	cur.SetSync(func(c *events.Collector) {
+		c.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
+		c.Set(events.Prefetches, s.hier.Prefetches)
+	})
+	// Functional warming: keep the caches warm through sampling skips
+	// (per-line on the I-side, as fetch does). The gshare predictor is
+	// left to the warmup window — its index couples to the speculative
+	// global history, which a non-pipelined update would desynchronize.
+	warmLine := uint64(1) << 63
+	cur.SetWarm(func(rec cpu.Record) {
+		if line := rec.PC &^ 63; line != warmLine {
+			s.hier.WarmInst(rec.PC)
+			warmLine = line
+		}
+		cls := rec.Inst.Op.Class()
+		if cls.IsMem() {
+			s.hier.WarmData(rec.EA, cls.IsStore())
+		}
+	})
 	if err := s.run(); err != nil {
 		return core.RunResult{}, fmt.Errorf("%s/%s: %w", m.cfg.MachineName, w.Name, err)
 	}
-	s.col.Count(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
-	s.col.Count(events.Prefetches, s.hier.Prefetches)
+	s.col.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
+	s.col.Set(events.Prefetches, s.hier.Prefetches)
 	stack := s.col.Finish(s.cycle)
-	return core.RunResult{
+	res := core.RunResult{
 		Machine:      m.cfg.MachineName,
 		Workload:     w.Name,
 		Instructions: s.retired,
 		Cycles:       s.cycle,
 		Counters:     s.col.Counters(events.ModelRUU),
 		Breakdown:    &stack,
-	}, nil
+	}
+	cur.Finalize(&res, events.ModelRUU)
+	return res, nil
 }
 
 type entry struct {
@@ -309,6 +332,9 @@ type sim struct {
 	// fetchBlockReason remembers why the front end was last stalled so
 	// a no-commit cycle can be charged to the right component.
 	fetchBlockReason events.Component
+	// cur drives interval sampling when the workload requests it
+	// (nil — and every call on it a no-op — for full runs).
+	cur *core.SampleCursor
 }
 
 func newSim(cfg Config, src cpu.Source) *sim {
@@ -478,6 +504,7 @@ func (s *sim) commit() {
 		s.count--
 		s.headInum++
 		s.retired++
+		s.cur.OnRetire(s.retired, s.cycle, &s.col)
 		n++
 	}
 }

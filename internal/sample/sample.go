@@ -1,0 +1,168 @@
+// Package sample is the sampled-simulation subsystem: it runs
+// workloads under SMARTS-style systematic interval sampling (the
+// mechanics live in internal/core's SampleCursor, honored by every
+// timing model) and turns the per-interval observations into
+// statistical estimates — whole-run CPI and per-component CPI-stack
+// values, each with a Student-t confidence interval.
+//
+// The paper measures one axis of experimental error: modeling error,
+// the CPI gap between a simulator and the hardware it claims to
+// model. Sampling adds the second axis every measured number needs:
+// statistical error, how far the sampled estimate may sit from the
+// full-run truth. An estimate without its interval is a point with
+// unknown error; an estimate with one is a measurement.
+package sample
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/stats"
+)
+
+// DefaultLevel is the confidence level used when callers pass 0.
+const DefaultLevel = 0.95
+
+// Estimate is one sampled quantity: point estimate, confidence
+// half-width, the level it was computed at, and the observation
+// count. The true value lies in [Mean-Half, Mean+Half] with the
+// stated confidence.
+type Estimate struct {
+	Mean  float64 `json:"mean"`
+	Half  float64 `json:"half"`
+	Level float64 `json:"level"`
+	N     int     `json:"n"`
+}
+
+// EstimateOf builds the estimate for a set of per-interval
+// observations at the given confidence level (DefaultLevel when 0).
+func EstimateOf(xs []float64, level float64) Estimate {
+	if level == 0 {
+		level = DefaultLevel
+	}
+	mean, half := stats.ConfidenceInterval(xs, level)
+	return Estimate{Mean: mean, Half: half, Level: level, N: len(xs)}
+}
+
+// Low returns the interval's lower bound.
+func (e Estimate) Low() float64 { return e.Mean - e.Half }
+
+// High returns the interval's upper bound.
+func (e Estimate) High() float64 { return e.Mean + e.Half }
+
+// Contains reports whether x lies inside the interval.
+func (e Estimate) Contains(x float64) bool { return x >= e.Low() && x <= e.High() }
+
+// RelHalf returns the half-width as a fraction of the mean (the
+// relative error bound), or 0 for a zero mean.
+func (e Estimate) RelHalf() float64 {
+	if e.Mean == 0 {
+		return 0
+	}
+	return e.Half / e.Mean
+}
+
+// String renders "mean ± half".
+func (e Estimate) String() string { return fmt.Sprintf("%.3f ± %.3f", e.Mean, e.Half) }
+
+// Result is one sampled run with its estimates.
+type Result struct {
+	Machine  string          `json:"machine"`
+	Workload string          `json:"workload"`
+	Plan     core.SamplePlan `json:"plan"`
+	// Intervals is the number of complete measured intervals.
+	Intervals int `json:"intervals"`
+	// CPI estimates the full-run CPI from the per-interval CPIs.
+	// Because every complete interval measures exactly Plan.Measure
+	// instructions, the mean of interval CPIs equals the
+	// ratio-of-sums CPI over all measured windows.
+	CPI Estimate `json:"cpi"`
+	// Components estimates each CPI-stack component's contribution.
+	Components [events.NumComponents]Estimate `json:"components"`
+	// Raw is the underlying sampled run result (measured-window
+	// totals plus the per-interval record in Raw.Sampled).
+	Raw core.RunResult `json:"raw"`
+}
+
+// Speedup returns the detailed-instruction reduction factor.
+func (r Result) Speedup() float64 { return r.Raw.Sampled.Speedup() }
+
+// DetailedInstructions returns how many instructions were simulated
+// in detail.
+func (r Result) DetailedInstructions() uint64 { return r.Raw.Sampled.DetailedInstructions }
+
+// StreamInstructions returns the total dynamic stream length covered.
+func (r Result) StreamInstructions() uint64 { return r.Raw.Sampled.StreamInstructions }
+
+// Run executes the workload on the machine under the plan and returns
+// the estimates at the given confidence level (DefaultLevel when 0).
+func Run(m core.Machine, w core.Workload, plan core.SamplePlan, level float64) (Result, error) {
+	if err := plan.Check(); err != nil {
+		return Result{}, err
+	}
+	w.Sample = &plan
+	res, err := m.Run(w)
+	if err != nil {
+		return Result{}, err
+	}
+	return FromResult(res, level)
+}
+
+// FromResult builds the estimates from an already-sampled RunResult
+// (e.g. one fetched from the simulation service or its cache).
+func FromResult(res core.RunResult, level float64) (Result, error) {
+	if res.Sampled == nil {
+		return Result{}, fmt.Errorf("sample: %s/%s did not run under a sampling plan",
+			res.Machine, res.Workload)
+	}
+	n := len(res.Sampled.Samples)
+	if n == 0 {
+		return Result{}, fmt.Errorf("sample: %s/%s completed no measured intervals (stream %d insts, plan %s)",
+			res.Machine, res.Workload, res.Sampled.StreamInstructions, res.Sampled.Plan)
+	}
+	cpis := make([]float64, n)
+	comp := make([][]float64, events.NumComponents)
+	for c := range comp {
+		comp[c] = make([]float64, n)
+	}
+	for i, s := range res.Sampled.Samples {
+		cpis[i] = s.CPI()
+		for c := events.Component(0); c < events.NumComponents; c++ {
+			comp[c][i] = s.ComponentCPI(c)
+		}
+	}
+	out := Result{
+		Machine:   res.Machine,
+		Workload:  res.Workload,
+		Plan:      res.Sampled.Plan,
+		Intervals: n,
+		CPI:       EstimateOf(cpis, level),
+		Raw:       res,
+	}
+	for c := range out.Components {
+		out.Components[c] = EstimateOf(comp[c], level)
+	}
+	return out, nil
+}
+
+// PlanFor returns a default plan scaled to an instruction budget
+// (a workload's MaxInstructions): the period is a tenth of the
+// budget — ten intervals over the run — and each interval simulates
+// 20% of its period in detail (half warmup, half measurement), a 5×
+// detailed-instruction reduction. A zero limit (run to completion)
+// gets a fixed absolute plan.
+func PlanFor(limit uint64) core.SamplePlan {
+	if limit == 0 {
+		return core.SamplePlan{Period: 20_000, Warmup: 1_000, Measure: 1_000}
+	}
+	p := limit / 10
+	if p < 10 {
+		p = 10
+	}
+	w := p / 10
+	if w < 1 {
+		w = 1
+	}
+	return core.SamplePlan{Period: p, Warmup: w, Measure: w}
+}

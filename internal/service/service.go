@@ -44,6 +44,7 @@ import (
 	"repro/internal/microbench"
 	"repro/internal/native"
 	"repro/internal/ruu"
+	"repro/internal/sample"
 	"repro/internal/simcache"
 	"repro/internal/validate"
 )
@@ -178,6 +179,9 @@ type Server struct {
 	byWork    map[string]workloadSpec
 	sem       chan struct{}
 	latency   *metrics.Histogram
+	// sampleIntervals distributes measured-interval counts of
+	// cold sampled runs.
+	sampleIntervals *metrics.Histogram
 
 	// Sweep-job state (see sweep.go): submitted jobs by ID, submission
 	// order for listing/eviction, and the running-jobs semaphore.
@@ -227,6 +231,8 @@ func New(cfg Config) *Server {
 		sweepSem:  make(chan struct{}, cfg.MaxSweepJobs),
 	}
 	s.latency = s.metrics.Histogram("request_seconds", metrics.DefLatencyBuckets)
+	s.sampleIntervals = s.metrics.Histogram("sample_intervals",
+		[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})
 	s.metrics.Gauge("pool_capacity").Set(int64(cfg.MaxConcurrent))
 	return s
 }
@@ -356,6 +362,43 @@ type runParams struct {
 	Machine  string `json:"machine"`
 	Workload string `json:"workload"`
 	Limit    uint64 `json:"limit"`
+	// Sample requests interval sampling. The plan defaults to
+	// sample.PlanFor over the effective run length; the explicit
+	// fields below override it knob by knob.
+	Sample          bool   `json:"sample"`
+	SamplePeriod    uint64 `json:"sample_period"`
+	SampleWarmup    uint64 `json:"sample_warmup"`
+	SampleMeasure   uint64 `json:"sample_measure"`
+	SampleIntervals int    `json:"sample_intervals"`
+}
+
+// samplePlan resolves the request's sampling schedule against the
+// effective run length.
+func (p runParams) samplePlan(limit uint64) core.SamplePlan {
+	plan := sample.PlanFor(limit)
+	if p.SamplePeriod > 0 {
+		plan.Period = p.SamplePeriod
+	}
+	if p.SampleWarmup > 0 {
+		plan.Warmup = p.SampleWarmup
+	}
+	if p.SampleMeasure > 0 {
+		plan.Measure = p.SampleMeasure
+	}
+	if p.SampleIntervals > 0 {
+		plan.MaxIntervals = p.SampleIntervals
+	}
+	return plan
+}
+
+// SampledInfo is the sampling block of a sampled /v1/run response.
+type SampledInfo struct {
+	Plan                 core.SamplePlan `json:"plan"`
+	Intervals            int             `json:"intervals"`
+	CPI                  sample.Estimate `json:"cpi"`
+	DetailedInstructions uint64          `json:"detailed_instructions"`
+	StreamInstructions   uint64          `json:"stream_instructions"`
+	Speedup              float64         `json:"speedup"`
 }
 
 // RunResponse is the JSON body of /v1/run. These bytes are what the
@@ -372,7 +415,9 @@ type RunResponse struct {
 	// Breakdown is the run's CPI stack: cycles attributed per
 	// component, summing exactly to Cycles (see internal/events).
 	Breakdown *events.Stack `json:"breakdown,omitempty"`
-	Key       string        `json:"key"`
+	// Sampled carries the interval-sampling estimate on sampled runs.
+	Sampled *SampledInfo `json:"sampled,omitempty"`
+	Key     string       `json:"key"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -394,6 +439,41 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			}
 			p.Limit = n
 		}
+		if v := q.Get("sample"); v != "" {
+			on, err := strconv.ParseBool(v)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "invalid sample %q: %v", v, err)
+				return
+			}
+			p.Sample = on
+		}
+		for _, f := range []struct {
+			name string
+			dst  *uint64
+		}{
+			{"sample_period", &p.SamplePeriod},
+			{"sample_warmup", &p.SampleWarmup},
+			{"sample_measure", &p.SampleMeasure},
+		} {
+			if v := q.Get(f.name); v != "" {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					s.fail(w, http.StatusBadRequest, "invalid %s %q: %v", f.name, v, err)
+					return
+				}
+				*f.dst = n
+				p.Sample = true
+			}
+		}
+		if v := q.Get("sample_intervals"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "invalid sample_intervals %q: %v", v, err)
+				return
+			}
+			p.SampleIntervals = n
+			p.Sample = true
+		}
 	}
 	if p.Machine == "" || p.Workload == "" {
 		s.fail(w, http.StatusBadRequest, "machine and workload are required")
@@ -412,21 +492,41 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The content address: machine config (canonical fingerprint),
-	// workload identity and budget, and the request's own limit.
+	// workload identity and budget, and the request's own limit. A
+	// sampled run measures a different quantity than a full one, so it
+	// lives under its own key prefix with the plan in the address —
+	// full-run key bytes are untouched by the sampling subsystem.
 	work := wl.w
 	if p.Limit > 0 && (work.MaxInstructions == 0 || work.MaxInstructions > p.Limit) {
 		work.MaxInstructions = p.Limit
 	}
-	key := simcache.KeyOf(
-		"run/v1",
-		simcache.Fingerprint(spec.Config),
-		simcache.Fingerprint(struct {
-			Name        string
-			FastForward uint64
-			Max         uint64
-			Category    string
-		}{work.Name, work.FastForward, work.MaxInstructions, work.Category}),
-	)
+	workID := simcache.Fingerprint(struct {
+		Name        string
+		FastForward uint64
+		Max         uint64
+		Category    string
+	}{work.Name, work.FastForward, work.MaxInstructions, work.Category})
+	var key simcache.Key
+	if p.Sample {
+		plan := p.samplePlan(work.MaxInstructions)
+		if err := plan.Check(); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		work.Sample = &plan
+		key = simcache.KeyOf(
+			"sample/v1",
+			simcache.Fingerprint(spec.Config),
+			workID,
+			simcache.Fingerprint(plan),
+		)
+	} else {
+		key = simcache.KeyOf(
+			"run/v1",
+			simcache.Fingerprint(spec.Config),
+			workID,
+		)
+	}
 
 	s.serveCached(w, r, key, func() ([]byte, error) {
 		s.acquire()
@@ -437,7 +537,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		s.recordSimEvents(res)
-		return json.Marshal(RunResponse{
+		resp := RunResponse{
 			Machine:      res.Machine,
 			Workload:     res.Workload,
 			Limit:        p.Limit,
@@ -448,7 +548,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Counters:     res.Counters,
 			Breakdown:    res.Breakdown,
 			Key:          key.String(),
-		})
+		}
+		if res.Sampled != nil {
+			est, err := sample.FromResult(res, sample.DefaultLevel)
+			if err != nil {
+				return nil, err
+			}
+			n := len(res.Sampled.Samples)
+			s.metrics.Counter("sample_runs_total").Inc()
+			s.metrics.Counter("sample_intervals_total").Add(uint64(n))
+			s.sampleIntervals.Observe(float64(n))
+			resp.Sampled = &SampledInfo{
+				Plan:                 res.Sampled.Plan,
+				Intervals:            n,
+				CPI:                  est.CPI,
+				DetailedInstructions: res.Sampled.DetailedInstructions,
+				StreamInstructions:   res.Sampled.StreamInstructions,
+				Speedup:              res.Sampled.Speedup(),
+			}
+		}
+		return json.Marshal(resp)
 	}, "application/json")
 }
 

@@ -318,3 +318,121 @@ func TestMetricsTextFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSampled covers the sampled /v1/run path end to end: the
+// response carries the sampling block with the estimate, the sampled
+// key is distinct from the full-run key (and carries the sample/v1
+// prefix's fingerprint, so the two can never collide in the cache),
+// the sampling metrics appear on /metrics, and a repeat request is a
+// byte-identical cache hit.
+func TestRunSampled(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/run?machine=sim-alpha&workload=gzip&limit=15000"
+
+	codeF, hdrF, bodyF := get(t, base)
+	if codeF != http.StatusOK {
+		t.Fatalf("full run = %d: %s", codeF, bodyF)
+	}
+	var full RunResponse
+	if err := json.Unmarshal(bodyF, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Sampled != nil {
+		t.Error("full run carries a sampling block")
+	}
+
+	code, hdr, body := get(t, base+"&sample=1")
+	if code != http.StatusOK {
+		t.Fatalf("sampled run = %d: %s", code, body)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sampled == nil {
+		t.Fatal("sampled run lacks the sampling block")
+	}
+	if resp.Sampled.Intervals != 10 {
+		t.Errorf("intervals = %d, want 10", resp.Sampled.Intervals)
+	}
+	if resp.Sampled.Speedup != 5 {
+		t.Errorf("speedup = %v, want 5", resp.Sampled.Speedup)
+	}
+	if resp.Sampled.CPI.Level != 0.95 || resp.Sampled.CPI.N != 10 {
+		t.Errorf("estimate = %+v, want level 0.95 over 10 intervals", resp.Sampled.CPI)
+	}
+	lo := resp.Sampled.CPI.Mean - resp.Sampled.CPI.Half
+	hi := resp.Sampled.CPI.Mean + resp.Sampled.CPI.Half
+	if full.CPI < lo || full.CPI > hi {
+		t.Errorf("full CPI %.4f outside sampled 95%% CI [%.4f, %.4f]", full.CPI, lo, hi)
+	}
+	if resp.Instructions >= full.Instructions {
+		t.Errorf("sampled measured %d instructions, full %d: no reduction",
+			resp.Instructions, full.Instructions)
+	}
+	if hdr.Get("X-Simcache-Key") == hdrF.Get("X-Simcache-Key") {
+		t.Error("sampled and full runs share a cache key")
+	}
+
+	code, hdr2, body2 := get(t, base+"&sample=1")
+	if code != http.StatusOK || hdr2.Get("X-Simcache") != "hit" {
+		t.Errorf("repeat sampled run: code %d, X-Simcache %q, want 200 hit",
+			code, hdr2.Get("X-Simcache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached sampled body differs from cold body")
+	}
+
+	_, _, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"sample_runs_total 1",
+		"sample_intervals_total 10",
+		"sample_intervals_count 1",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}
+
+// TestRunSampledPlanKnobs: explicit plan parameters reach the
+// schedule (keying a different cell) and invalid plans fail fast.
+func TestRunSampledPlanKnobs(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/run?machine=sim-alpha&workload=gzip&limit=15000"
+
+	code, hdr, body := get(t, base+"&sample_period=3000&sample_warmup=300&sample_measure=300")
+	if code != http.StatusOK {
+		t.Fatalf("custom plan = %d: %s", code, body)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sampled == nil || resp.Sampled.Plan.Period != 3000 {
+		t.Fatalf("custom plan not honored: %+v", resp.Sampled)
+	}
+	if resp.Sampled.Intervals != 5 {
+		t.Errorf("intervals = %d, want 5", resp.Sampled.Intervals)
+	}
+	_, hdrDefault, _ := get(t, base+"&sample=1")
+	if hdr.Get("X-Simcache-Key") == hdrDefault.Get("X-Simcache-Key") {
+		t.Error("distinct plans share a cache key")
+	}
+
+	code, _, body = get(t, base+"&sample_period=100&sample_warmup=200")
+	if code != http.StatusBadRequest {
+		t.Errorf("invalid plan = %d (%s), want 400", code, body)
+	}
+
+	code, _, body = get(t, base+"&sample=1&sample_intervals=3")
+	if code != http.StatusOK {
+		t.Fatalf("capped plan = %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sampled == nil || resp.Sampled.Intervals != 3 {
+		t.Fatalf("interval cap not honored: %+v", resp.Sampled)
+	}
+}

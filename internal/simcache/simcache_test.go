@@ -343,3 +343,40 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSampledKeysDistinctFromFull pins the addressing rule the
+// sampling subsystem relies on: a sampled cell lives under the
+// "sample/v1" prefix with its plan in the address, so it can never
+// collide with the full-run cell for the same (machine × workload) —
+// and the version prefixes themselves ("run/v1", "sample/v1",
+// "sweep/v1") are pairwise distinct key namespaces.
+func TestSampledKeysDistinctFromFull(t *testing.T) {
+	machine := Fingerprint(alpha.DefaultConfig())
+	work := Fingerprint(struct {
+		Name string
+		Max  uint64
+	}{"gzip", 15_000})
+	plan := Fingerprint(struct{ Period, Warmup, Measure uint64 }{1500, 150, 150})
+
+	full := KeyOf("run/v1", machine, work)
+	sampled := KeyOf("sample/v1", machine, work, plan)
+	if full == sampled {
+		t.Fatal("sampled and full cells share a key")
+	}
+	// Two different plans over the same cell are different addresses.
+	plan2 := Fingerprint(struct{ Period, Warmup, Measure uint64 }{3000, 300, 300})
+	if KeyOf("sample/v1", machine, work, plan2) == sampled {
+		t.Fatal("distinct sampling plans share a key")
+	}
+	// Prefixes are namespaces: identical payloads under different
+	// version prefixes never meet.
+	for _, pair := range [][2]string{
+		{"run/v1", "sample/v1"},
+		{"sample/v1", "sweep/v1"},
+		{"run/v1", "sweep/v1"},
+	} {
+		if KeyOf(pair[0], machine, work) == KeyOf(pair[1], machine, work) {
+			t.Errorf("prefixes %q and %q collide", pair[0], pair[1])
+		}
+	}
+}

@@ -81,3 +81,104 @@ func StdDev(xs []float64) float64 {
 	}
 	return math.Sqrt(ss / float64(len(xs)))
 }
+
+// Variance returns the sample variance of xs (n-1 denominator), the
+// unbiased estimator needed when xs is a sample of a larger
+// population — e.g. measured intervals sampled from a full run.
+// Fewer than two observations carry no spread information: 0.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdErr returns the standard error of the mean of xs:
+// sqrt(Variance/n). 0 for fewer than two observations.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return math.Sqrt(Variance(xs) / float64(len(xs)))
+}
+
+// tTable holds two-sided Student-t critical values t_{(1+level)/2, df}
+// for the confidence levels the repository reports. Rows are indexed
+// by tDFs; using the largest tabulated df that does not exceed the
+// requested df makes the interval conservative (never too narrow).
+var tDFs = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+	16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 40, 60, 120}
+
+var tTable = map[float64][]float64{
+	0.90: {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+		1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+		1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+		1.701, 1.699, 1.697, 1.684, 1.671, 1.658},
+	0.95: {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+		2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+		2.048, 2.045, 2.042, 2.021, 2.000, 1.980},
+	0.99: {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+		3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+		2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+		2.763, 2.756, 2.750, 2.704, 2.660, 2.617},
+}
+
+// tInf holds the normal-limit (df → ∞) critical values per level.
+var tInf = map[float64]float64{0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+// TQuantile returns the two-sided Student-t critical value for the
+// given degrees of freedom and confidence level. Supported levels are
+// 0.90, 0.95, and 0.99; any other level snaps to the nearest
+// supported one. df below 1 is treated as 1; df beyond the table uses
+// the largest tabulated value not exceeding it, so intervals are
+// conservative between table rows.
+func TQuantile(df int, level float64) float64 {
+	best, bestDist := 0.95, math.Inf(1)
+	for l := range tTable {
+		if d := math.Abs(l - level); d < bestDist {
+			best, bestDist = l, d
+		}
+	}
+	row := tTable[best]
+	if df < 1 {
+		df = 1
+	}
+	if df > tDFs[len(tDFs)-1] {
+		// Past the table the value keeps shrinking toward the normal
+		// limit; the last row (df=120) stays conservative until then,
+		// but for very large df use the limit itself.
+		if df >= 1000 {
+			return tInf[best]
+		}
+		return row[len(row)-1]
+	}
+	// Largest tabulated df not exceeding the requested df.
+	idx := 0
+	for i, d := range tDFs {
+		if d <= df {
+			idx = i
+		}
+	}
+	return row[idx]
+}
+
+// ConfidenceInterval returns the sample mean of xs and the Student-t
+// confidence-interval half-width at the given level: the true mean
+// lies in [mean-half, mean+half] with the stated confidence, under
+// the usual independence and normality-of-the-mean assumptions.
+// Fewer than two observations give a zero half-width — no spread
+// information, no interval.
+func ConfidenceInterval(xs []float64, level float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	return mean, TQuantile(len(xs)-1, level) * StdErr(xs)
+}

@@ -99,6 +99,153 @@ func TestPctChange(t *testing.T) {
 	}
 }
 
+// TestPctErrorCPIZeroPin pins the zero-input contract the sampling
+// code relies on: any zero IPC on either side short-circuits to a 0%
+// error rather than propagating an infinity or NaN into aggregates.
+func TestPctErrorCPIZeroPin(t *testing.T) {
+	cases := [][2]float64{{0, 0}, {0, 2.5}, {2.5, 0}, {0, 1e-300}}
+	for _, c := range cases {
+		if got := PctErrorCPI(c[0], c[1]); c[0] == 0 || c[1] == 0 {
+			if got != 0 {
+				t.Errorf("PctErrorCPI(%v, %v) = %v, want exactly 0", c[0], c[1], got)
+			}
+		}
+	}
+	// And the non-zero tiny value still computes (finite, not guarded).
+	if got := PctErrorCPI(1e-300, 1e-300); got != 0 {
+		t.Errorf("equal tiny IPCs: error = %v, want 0", got)
+	}
+}
+
+// TestHarmonicMeanZeroPin pins that a single non-positive observation
+// zeroes the whole harmonic mean (it is undefined there), so callers
+// aggregating per-interval IPCs can treat 0 as "not meaningful".
+func TestHarmonicMeanZeroPin(t *testing.T) {
+	cases := [][]float64{nil, {}, {0}, {-1}, {1, 2, 0}, {3, -0.5, 2}}
+	for _, xs := range cases {
+		if got := HarmonicMean(xs); got != 0 {
+			t.Errorf("HarmonicMean(%v) = %v, want exactly 0", xs, got)
+		}
+	}
+}
+
+func TestVariance(t *testing.T) {
+	// Known sample variance: {2,4,4,4,5,5,7,9} has mean 5, SS=32,
+	// sample variance 32/7.
+	got := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !approx(got, 32.0/7.0) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	// {1,3}: variance 2, stderr sqrt(2/2)=1.
+	if got := StdErr([]float64{1, 3}); !approx(got, 1) {
+		t.Errorf("StdErr = %v, want 1", got)
+	}
+	if StdErr(nil) != 0 || StdErr([]float64{7}) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	cases := []struct {
+		df    int
+		level float64
+		want  float64
+	}{
+		{1, 0.95, 12.706},
+		{9, 0.95, 2.262},
+		{30, 0.95, 2.042},
+		{35, 0.95, 2.042}, // between rows: conservative (df=30 value)
+		{40, 0.95, 2.021},
+		{120, 0.95, 1.980},
+		{500, 0.95, 1.980}, // past the table, below the normal cutover
+		{10_000, 0.95, 1.960},
+		{9, 0.90, 1.833},
+		{9, 0.99, 3.250},
+		{0, 0.95, 12.706}, // df<1 clamps to 1
+		{9, 0.951, 2.262}, // unknown level snaps to nearest
+		{9, 0.80, 1.833},  // snaps to 0.90
+	}
+	for _, c := range cases {
+		if got := TQuantile(c.df, c.level); !approx(got, c.want) {
+			t.Errorf("TQuantile(%d, %v) = %v, want %v", c.df, c.level, got, c.want)
+		}
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	// {1,3}: mean 2, stderr 1, t_{.975,1}=12.706 → half = 12.706.
+	mean, half := ConfidenceInterval([]float64{1, 3}, 0.95)
+	if !approx(mean, 2) || !approx(half, 12.706) {
+		t.Errorf("CI = %v ± %v, want 2 ± 12.706", mean, half)
+	}
+	// Degenerate: single observation has a point estimate, no width.
+	mean, half = ConfidenceInterval([]float64{5}, 0.95)
+	if mean != 5 || half != 0 {
+		t.Errorf("single-obs CI = %v ± %v, want 5 ± 0", mean, half)
+	}
+	// Constant samples: zero-width interval around the constant.
+	mean, half = ConfidenceInterval([]float64{4, 4, 4, 4}, 0.95)
+	if !approx(mean, 4) || !approx(half, 0) {
+		t.Errorf("constant CI = %v ± %v, want 4 ± 0", mean, half)
+	}
+}
+
+// Property: the CI half-width is non-negative, shrinks (weakly) as
+// the level drops, and widens (weakly) as the level rises; and the
+// interval always contains the sample mean.
+func TestQuickConfidenceIntervalMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 64
+		}
+		m90, h90 := ConfidenceInterval(xs, 0.90)
+		m95, h95 := ConfidenceInterval(xs, 0.95)
+		m99, h99 := ConfidenceInterval(xs, 0.99)
+		if m90 != m95 || m95 != m99 {
+			return false // mean must not depend on the level
+		}
+		return h90 >= 0 && h90 <= h95+1e-12 && h95 <= h99+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Variance agrees with StdDev up to the n/(n-1) Bessel
+// factor, and StdErr = sqrt(Variance/n).
+func TestQuickVarianceConsistency(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r % 4096)
+		}
+		n := float64(len(xs))
+		pop := StdDev(xs) * StdDev(xs) // population variance
+		v := Variance(xs)
+		if math.Abs(v*(n-1)/n-pop) > 1e-6*(1+pop) {
+			return false
+		}
+		se := StdErr(xs)
+		return math.Abs(se*se-v/n) < 1e-6*(1+v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: harmonic mean never exceeds arithmetic mean for positive
 // inputs, and both lie within [min, max].
 func TestQuickMeanInequality(t *testing.T) {

@@ -53,6 +53,11 @@ type Engine struct {
 	// Cache memoizes cell results by the canonical fingerprint of
 	// (config, workload, budget). Nil disables memoization.
 	Cache *simcache.Cache
+	// Sample, when set, runs every cell under interval sampling: the
+	// sweep explores the same design space at the plan's fraction of
+	// the detailed-simulation cost, and the plan joins each cell's
+	// cache address so sampled cells never collide with full ones.
+	Sample *core.SamplePlan
 }
 
 // PointResult is one explored point with its per-workload results
@@ -69,6 +74,11 @@ type Stats struct {
 	Points    int `json:"points"`
 	Cells     int `json:"cells"`
 	CacheHits int `json:"cache_hits"`
+	// DetailedInstructions totals the instructions the cells'
+	// timing models actually simulated in detail — under sampling,
+	// the warmup+measure windows only — so a sweep's cost reduction
+	// is visible next to its cell counts.
+	DetailedInstructions uint64 `json:"detailed_instructions,omitempty"`
 }
 
 // Add accumulates another run's accounting.
@@ -76,6 +86,7 @@ func (s *Stats) Add(o Stats) {
 	s.Points += o.Points
 	s.Cells += o.Cells
 	s.CacheHits += o.CacheHits
+	s.DetailedInstructions += o.DetailedInstructions
 }
 
 // HitRate returns the fraction of cells served from the cache.
@@ -91,12 +102,12 @@ func (s Stats) HitRate() float64 {
 func (e *Engine) limited() []core.Workload {
 	ws := make([]core.Workload, len(e.Workloads))
 	copy(ws, e.Workloads)
-	if e.Limit == 0 {
-		return ws
-	}
 	for i := range ws {
-		if ws[i].MaxInstructions == 0 || ws[i].MaxInstructions > e.Limit {
+		if e.Limit != 0 && (ws[i].MaxInstructions == 0 || ws[i].MaxInstructions > e.Limit) {
 			ws[i].MaxInstructions = e.Limit
+		}
+		if e.Sample != nil {
+			ws[i].Sample = e.Sample
 		}
 	}
 	return ws
@@ -108,7 +119,7 @@ func (e *Engine) limited() []core.Workload {
 // distinct keys (see simcache.Fingerprint for exactly what the
 // canonical rendering skips).
 func CellKey(cfg any, w core.Workload) simcache.Key {
-	return simcache.KeyOf(
+	parts := []string{
 		"sweep/v1",
 		simcache.Fingerprint(cfg),
 		simcache.Fingerprint(struct {
@@ -117,7 +128,13 @@ func CellKey(cfg any, w core.Workload) simcache.Key {
 			Max         uint64
 			Category    string
 		}{w.Name, w.FastForward, w.MaxInstructions, w.Category}),
-	)
+	}
+	// Sampled cells measure a different quantity, so the plan joins
+	// the address; full cells keep their pre-sampling key bytes.
+	if w.Sample != nil {
+		parts = append(parts, "sample", simcache.Fingerprint(*w.Sample))
+	}
+	return simcache.KeyOf(parts...)
 }
 
 // Run executes the points' full workload suites and returns one
@@ -195,6 +212,13 @@ func (e *Engine) Run(ctx context.Context, s *Space, pts []Point) ([]PointResult,
 	st := Stats{Points: len(pts), Cells: len(cells), CacheHits: int(hits.Load())}
 	if err != nil {
 		return nil, st, err
+	}
+	for _, r := range res {
+		if r.Sampled != nil {
+			st.DetailedInstructions += r.Sampled.DetailedInstructions
+		} else {
+			st.DetailedInstructions += r.Instructions
+		}
 	}
 
 	out := make([]PointResult, len(pts))

@@ -182,3 +182,65 @@ func TestReference(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineSampledSweep: an engine with a sampling plan explores the
+// same design space at a fraction of the detailed-simulation cost,
+// its cells live under distinct cache addresses from the full cells
+// (sharing one cache with a full sweep produces zero cross-hits), and
+// the sampling record survives the cache round-trip.
+func TestEngineSampledSweep(t *testing.T) {
+	s := tuningSpace()
+	pts, err := (OneFactorAtATime{}).Enumerate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cache := simcache.New(0)
+
+	full := testEngine(t)
+	full.Cache = cache
+	_, fullSt, err := full.Run(ctx, s, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := core.SamplePlan{Period: 500, Warmup: 25, Measure: 25}
+	sampled := testEngine(t)
+	sampled.Cache = cache
+	sampled.Sample = &plan
+	prs, st, err := sampled.Run(ctx, s, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("sampled sweep hit %d full-run cells", st.CacheHits)
+	}
+	if st.DetailedInstructions == 0 || fullSt.DetailedInstructions == 0 {
+		t.Fatal("missing detailed-instruction accounting")
+	}
+	ratio := float64(fullSt.DetailedInstructions) / float64(st.DetailedInstructions)
+	if ratio < 5 {
+		t.Errorf("detailed-instruction reduction %.2fx, want >= 5x (%d vs %d)",
+			ratio, fullSt.DetailedInstructions, st.DetailedInstructions)
+	}
+	for _, pr := range prs {
+		for i, r := range pr.Results {
+			if r.Sampled == nil {
+				t.Fatalf("point %s workload %d lost its sampling record through the cache",
+					pr.Label, i)
+			}
+			if r.Sampled.Plan != plan {
+				t.Errorf("point %s workload %d plan = %+v", pr.Label, i, r.Sampled.Plan)
+			}
+		}
+	}
+
+	// A repeat of the sampled sweep is answered entirely by the cache.
+	_, st2, err := sampled.Run(ctx, s, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHits != st2.Cells {
+		t.Errorf("repeat sampled sweep: %d/%d cells from cache", st2.CacheHits, st2.Cells)
+	}
+}

@@ -29,6 +29,37 @@ func TestParallelMergeDeterminism(t *testing.T) {
 	}
 }
 
+// TestSampledDeterminism holds sampled runs to the same guarantee:
+// the sampled experiment — interval schedules, warming, confidence
+// intervals and all — renders byte-identically at any parallelism and
+// across repeated runs.
+func TestSampledDeterminism(t *testing.T) {
+	serial := quick
+	serial.Parallelism = 1
+	wide := quick
+	wide.Parallelism = 8
+
+	s, err := Sampled(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Sampled(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != w.String() {
+		t.Errorf("Sampled output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+			s.String(), w.String())
+	}
+	again, err := Sampled(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.String() != again.String() {
+		t.Errorf("Sampled output differs between repeated runs")
+	}
+}
+
 // TestConcurrentExperiments runs two whole experiments at once, each
 // internally parallel, over the shared workload caches. Under
 // `go test -race` this is the concurrency audit for the sync.Once

@@ -90,6 +90,23 @@ func TestGoldenCalibration(t *testing.T) {
 	checkGolden(t, "calibration", out.String())
 }
 
+// TestGoldenSampled covers the sampled-simulation experiment (also
+// outside the results_full.txt nine). Beyond byte-stability, the
+// table must show the subsystem's core claim holding at the golden
+// operating point: every macrobenchmark's full-run CPI inside the
+// sampled 95% confidence interval.
+func TestGoldenSampled(t *testing.T) {
+	res, err := Sampled(goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inside != len(res.Rows) {
+		t.Errorf("confidence intervals cover full-run CPI on %d/%d macrobenchmarks",
+			res.Inside, len(res.Rows))
+	}
+	checkGolden(t, "sampled", res.String())
+}
+
 // checkGolden compares a rendering against its blessed file in
 // testdata/, rewriting the file under -update.
 func checkGolden(t *testing.T, name, got string) {

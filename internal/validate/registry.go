@@ -46,6 +46,8 @@ var registry = []Experiment{
 		func(o Options) (fmt.Stringer, error) { return Sweep(o) }},
 	{"calibration", "Auto-calibration: coordinate descent sim-initial -> native",
 		func(o Options) (fmt.Stringer, error) { return Calibration(o) }},
+	{"sampled", "Sampled simulation: interval sampling with confidence intervals",
+		func(o Options) (fmt.Stringer, error) { return Sampled(o) }},
 }
 
 // Experiments returns every registered experiment in paper order.

@@ -153,3 +153,42 @@ func TestQuickRandomProfiles(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSampledOperatingPoint pins the sampling subsystem's headline
+// claim at the benchmark operating point (the longest macrobenchmark,
+// gcc, near full length — see bench_test.go): at least 5x fewer
+// detailed-simulated instructions, a CPI point estimate within 2% of
+// the full run, and the full-run CPI inside the sampled 95%
+// confidence interval.
+func TestSampledOperatingPoint(t *testing.T) {
+	m := SimAlpha()
+	w, ok := WorkloadByName("gcc")
+	if !ok {
+		t.Fatal("no gcc workload")
+	}
+	w.MaxInstructions = sampledBenchLimit
+
+	full, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCPI := full.CPI()
+
+	est, err := RunSampled(m, w, sampledBenchPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := est.Speedup(); s < 5 {
+		t.Errorf("detailed-instruction reduction %.2fx, want >= 5x (%d detailed of %d stream)",
+			s, est.DetailedInstructions(), est.StreamInstructions())
+	}
+	errPct := 100 * (est.CPI.Mean - fullCPI) / fullCPI
+	if errPct < -2 || errPct > 2 {
+		t.Errorf("sampled CPI %.4f vs full %.4f: %.2f%% error, want <= 2%%",
+			est.CPI.Mean, fullCPI, errPct)
+	}
+	if !est.CPI.Contains(fullCPI) {
+		t.Errorf("full CPI %.4f outside sampled 95%% CI [%.4f, %.4f]",
+			fullCPI, est.CPI.Low(), est.CPI.High())
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/microbench"
 	"repro/internal/native"
 	"repro/internal/ruu"
+	"repro/internal/sample"
 	"repro/internal/stats"
 	"repro/internal/validate"
 )
@@ -130,6 +131,31 @@ func WorkloadByName(name string) (Workload, bool) {
 // means the simulator underestimates performance.
 func PctErrorCPI(refIPC, simIPC float64) float64 {
 	return stats.PctErrorCPI(refIPC, simIPC)
+}
+
+// Sampled simulation: run a workload under SMARTS-style systematic
+// interval sampling and get CPI (and per-component CPI-stack)
+// estimates with Student-t confidence intervals, at a fraction of the
+// detailed-simulation cost. See internal/sample for the estimator and
+// internal/core for the schedule mechanics every machine honors.
+type (
+	// SamplePlan is the sampling schedule: per Period instructions,
+	// Warmup+Measure run in detail and the rest fast-forward.
+	SamplePlan = core.SamplePlan
+	// SampledEstimates holds the per-interval observations reduced to
+	// point estimates with confidence intervals.
+	SampledEstimates = sample.Result
+)
+
+// DefaultSamplePlan returns the canonical schedule for a run length:
+// ten intervals, 10% warmup per period, a 5x detailed-instruction
+// reduction.
+func DefaultSamplePlan(limit uint64) SamplePlan { return sample.PlanFor(limit) }
+
+// RunSampled runs the workload on the machine under the plan and
+// returns the estimates at the default 95% confidence level.
+func RunSampled(m Machine, w Workload, plan SamplePlan) (SampledEstimates, error) {
+	return sample.Run(m, w, plan, 0)
 }
 
 // Experiment re-exports: each function regenerates one table or
