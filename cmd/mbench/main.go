@@ -1,5 +1,6 @@
-// Command mbench lists the workload suites and disassembles their
-// programs.
+// Command mbench lists the workload suites, disassembles their
+// programs, and manages benchmark trajectories (see
+// internal/benchtrack for the schema and the comparison rules).
 //
 // Usage:
 //
@@ -7,13 +8,25 @@
 //	mbench disasm <workload>
 //	mbench save   <workload> <out.axpl>   (object file)
 //	mbench trace  <workload> <out.axpt>   (dynamic trace)
+//	mbench bench-record  <raw.txt> <dir> [note]
+//	mbench bench-compare <raw.txt|BENCH.json> <dir>
+//
+// bench-record digests raw `go test -bench` output into the
+// next-numbered BENCH_<nnnn>.json in <dir>. bench-compare parses a
+// candidate (raw output or an already-recorded trajectory), compares
+// it against the highest-numbered trajectory in <dir>, and exits
+// non-zero when any benchmark falls outside its tolerance band — the
+// performance analogue of a golden-table diff.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro"
+	"repro/internal/benchtrack"
 )
 
 func main() {
@@ -63,9 +76,72 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d dynamic records)\n", os.Args[3], n)
+	case "bench-record":
+		if len(os.Args) != 4 && len(os.Args) != 5 {
+			usage()
+		}
+		tr := parseBench(os.Args[2])
+		dir := os.Args[3]
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		id, err := benchtrack.NextID(dir)
+		if err != nil {
+			fatal(err)
+		}
+		tr.ID = id
+		if len(os.Args) == 5 {
+			tr.Note = os.Args[4]
+		}
+		path := filepath.Join(dir, benchtrack.FileName(id))
+		if err := benchtrack.Save(path, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(tr.Benchmarks))
+	case "bench-compare":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		cand := parseBench(os.Args[2])
+		base, path, err := benchtrack.Latest(os.Args[3])
+		if err != nil {
+			fatal(err)
+		}
+		rep := benchtrack.Compare(base, cand, nil)
+		fmt.Printf("baseline %s (id %d)\n%s", path, base.ID, rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
 	default:
 		usage()
 	}
+}
+
+// parseBench loads a candidate trajectory: a BENCH_*.json file is
+// loaded directly, anything else is parsed as raw `go test -bench`
+// output.
+func parseBench(path string) *benchtrack.Trajectory {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if json.Valid(b) {
+		tr, err := benchtrack.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		return tr
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := benchtrack.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
 }
 
 func lookup(arg int) repro.Workload {
@@ -95,5 +171,6 @@ func fatal(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mbench list | disasm <w> | save <w> <f.axpl> | trace <w> <f.axpt>")
+	fmt.Fprintln(os.Stderr, "       mbench bench-record <raw.txt> <dir> [note] | bench-compare <raw.txt|BENCH.json> <dir>")
 	os.Exit(2)
 }

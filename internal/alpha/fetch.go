@@ -6,34 +6,54 @@ import (
 	"repro/internal/isa"
 )
 
+// pendCap sizes the fetch lookahead ring. The front end never looks
+// further ahead than this many records, whatever the fetch width.
+const pendCap = 8
+
 // unopsThroughIssue reports whether unops consume issue slots: either
 // the sim-initial bug, or the eret feature being removed.
 func (s *sim) unopsThroughIssue() bool {
 	return s.cfg.Bugs.UnopsConsumeIssue || !s.cfg.Feat.EarlyRetire
 }
 
-// fill tops up the fetch lookahead from the dynamic stream.
+// fill tops up the fetch lookahead ring from the dynamic stream.
 func (s *sim) fill() {
-	for !s.srcDone && len(s.pending) < 8 {
+	for !s.srcDone && s.pendLen < pendCap {
 		rec, ok := s.src.Next()
 		if !ok {
 			s.srcDone = true
 			return
 		}
-		s.pending = append(s.pending, rec)
+		i := s.pendHead + s.pendLen
+		if i >= pendCap {
+			i -= pendCap
+		}
+		s.pend[i] = rec
+		s.pendLen++
 	}
+}
+
+// pendAt returns the i-th lookahead record (0 = oldest).
+func (s *sim) pendAt(i int) *cpu.Record {
+	i += s.pendHead
+	if i >= pendCap {
+		i -= pendCap
+	}
+	return &s.pend[i]
 }
 
 // fetch models the 21264 front end for one cycle: octaword-aligned
 // fetch through the I-cache, way prediction, the line predictor, the
 // tournament predictor with the slot-stage adder override, the return
 // address stack, and all the recovery penalties the paper calibrates.
+// The packet is carved out of the lookahead ring in place — the
+// steady-state path performs no heap allocation.
 func (s *sim) fetch() {
 	if s.waitBranch != 0 || s.cycle < s.fetchBlockedUntil {
 		return
 	}
 	s.fill()
-	if len(s.pending) == 0 {
+	if s.pendLen == 0 {
 		return
 	}
 	// Room for a full packet in the combined fetch/reorder window.
@@ -42,20 +62,21 @@ func (s *sim) fetch() {
 	}
 
 	// Build the aligned fetch packet: consecutive sequential records
-	// within one octaword, ending at the first taken branch.
-	first := s.pending[0]
+	// within one octaword, ending at the first taken branch. The
+	// packet is the first n lookahead records.
+	first := s.pendAt(0)
 	base := first.PC &^ 15
-	packet := []cpu.Record{first}
-	for len(packet) < s.cfg.FetchWidth && len(packet) < len(s.pending) {
-		prev := packet[len(packet)-1]
-		next := s.pending[len(packet)]
+	n := 1
+	for n < s.cfg.FetchWidth && n < s.pendLen {
+		prev := s.pendAt(n - 1)
+		next := s.pendAt(n)
 		if prev.IsBranch() && prev.Taken {
 			break
 		}
 		if next.PC != prev.PC+isa.WordBytes || next.PC&^15 != base {
 			break
 		}
-		packet = append(packet, next)
+		n++
 	}
 
 	// I-cache access (with way prediction) for the packet address.
@@ -103,8 +124,9 @@ func (s *sim) fetch() {
 	// The first mispredicted branch stalls fetch until it resolves.
 	specHist := s.cfg.Feat.SpecUpdate && !s.cfg.Bugs.NoSpecUpdate
 	var mispredictIdx = -1
-	dirPreds := make([]bool, len(packet))
-	for i, rec := range packet {
+	var dirPreds [pendCap]bool
+	for i := 0; i < n; i++ {
+		rec := s.pendAt(i)
 		if rec.Inst.Op.Class() != isa.ClassCondBr {
 			continue
 		}
@@ -121,7 +143,7 @@ func (s *sim) fetch() {
 		}
 	}
 
-	last := packet[len(packet)-1]
+	last := s.pendAt(n - 1)
 	actualNext := last.NextPC
 	if !(last.IsBranch() && last.Taken) {
 		actualNext = last.PC + isa.WordBytes
@@ -132,10 +154,10 @@ func (s *sim) fetch() {
 	// non-speculative update a return consults a stale stack whenever
 	// any RAS operation is still unresolved.
 	rasStale := false
-	for _, rec := range packet {
-		switch rec.Inst.Op {
+	for i := 0; i < n; i++ {
+		switch s.pendAt(i).Inst.Op {
 		case isa.OpBsr, isa.OpJsr:
-			s.ras.Push(rec.PC + isa.WordBytes)
+			s.ras.Push(s.pendAt(i).PC + isa.WordBytes)
 		case isa.OpRet:
 			if s.inflightRASOps > 0 && !specHist {
 				rasStale = true
@@ -167,7 +189,7 @@ func (s *sim) fetch() {
 				// and the restart costs the 10-cycle flush the paper
 				// measured with C-S1. sim-initial undercharged it.
 				s.col.Count(events.JmpMispredicts, 1)
-				mispredictIdx = len(packet) - 1
+				mispredictIdx = n - 1
 			}
 		default:
 			// PC-relative taken branch (cond predicted taken, or
@@ -215,7 +237,8 @@ func (s *sim) fetch() {
 	}
 
 	// Allocate entries.
-	for i, rec := range packet {
+	for i := 0; i < n; i++ {
+		rec := s.pendAt(i)
 		e := s.alloc(rec)
 		e.availAt = deliverAt
 		e.fetchMiss = !ires.L1Hit
@@ -231,13 +254,17 @@ func (s *sim) fetch() {
 			e.mispredicted = true
 			s.waitBranch = e.inum
 		}
-		if !specHist && i == len(packet)-1 {
+		if !specHist && i == n-1 {
 			e.hasLineTrain = true
 			e.lineTrainPC = first.PC
 			e.lineTrainTo = actualNext
 		}
 	}
-	s.pending = s.pending[len(packet):]
+	s.pendHead += n
+	if s.pendHead >= pendCap {
+		s.pendHead -= pendCap
+	}
+	s.pendLen -= n
 
 	nextFetchAt += bubble
 	if bubble > 0 && fetchWhy == events.CompFrontend {
@@ -249,12 +276,12 @@ func (s *sim) fetch() {
 
 // alloc appends a record to the combined fetch/reorder window and
 // precomputes its dependence and classification metadata.
-func (s *sim) alloc(rec cpu.Record) *entry {
-	idx := (s.head + s.count) % len(s.rob)
+func (s *sim) alloc(rec *cpu.Record) *entry {
+	idx := s.idx(s.count)
 	s.count++
 	e := &s.rob[idx]
 	*e = entry{
-		rec:  rec,
+		rec:  *rec,
 		inum: s.nextInum,
 		cls:  rec.Inst.Op.Class(),
 	}
@@ -275,7 +302,8 @@ func (s *sim) alloc(rec cpu.Record) *entry {
 	}
 
 	// Source dependences: resolve against the latest writers.
-	for _, src := range rec.Inst.Sources() {
+	var srcs [3]isa.RegRef
+	for _, src := range srcs[:rec.Inst.SourcesInto(&srcs)] {
 		file := 0
 		if src.FP {
 			file = 1

@@ -135,14 +135,46 @@ type sim struct {
 	luse *predict.LoadUse
 	stwt *predict.StoreWait
 
-	pending []cpu.Record // fetched-from-stream lookahead
-	srcDone bool
+	// pend is the fetched-from-stream lookahead, a small ring so the
+	// steady-state fetch path allocates nothing.
+	pend     [pendCap]cpu.Record
+	pendHead int
+	pendLen  int
+	srcDone  bool
 
 	rob      []entry
 	head     int
 	count    int
 	nextInum uint64
 	headInum uint64 // inum of ROB head (retired boundary)
+
+	// Scan accelerators. Entries map and issue in program order, so
+	// the pipeline tracks the boundaries instead of rescanning for
+	// them every cycle:
+	//
+	//   mapInum    — inum of the oldest unmapped entry (everything
+	//                older is mapped); the map stage is O(width).
+	//   issueBase  — every entry older than this has issued (or was
+	//                dropped), so the issue scan starts here.
+	//   wakeAt     — earliest cycle at which any in-flight entry can
+	//                complete or free its queue slot; the resolution
+	//                scan is skipped entirely until then.
+	mapInum   uint64
+	issueBase uint64
+	wakeAt    uint64
+
+	// issueIdleUntil gates the issue scan: a scan that issued nothing
+	// records the earliest cycle anything could become eligible, and
+	// the stage sleeps until then. Mapping or retiring anything resets
+	// the gate (both can change operand readiness).
+	issueIdleUntil uint64
+	// outstanding counts issued, non-dropped entries still owing a
+	// resolution or a queue-slot release; the resolution scan stops
+	// once it has seen that many.
+	outstanding int
+
+	// specBuf is resolve's reusable in-flight-branch outcome buffer.
+	specBuf []bool
 
 	lastWriter [2][isa.NumRegs]uint64 // latest producer inum per arch reg
 	// readyByInum remembers result-ready times of recently issued
@@ -189,18 +221,42 @@ func newSim(cfg Config, src cpu.Source) *sim {
 	}
 	hier := cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), dram.New(cfg.DRAM))
 	return &sim{
-		cfg:      cfg,
-		src:      src,
-		hier:     hier,
-		tour:     predict.NewTournament(cfg.Tour),
-		line:     predict.NewLine(cfg.Hier.L1I.SizeBytes / 16),
-		way:      predict.NewWay(cfg.Hier.L1I.Sets()),
-		ras:      predict.NewRAS(cfg.RASEntries),
-		luse:     predict.NewLoadUse(),
-		stwt:     predict.NewStoreWait(),
-		rob:      make([]entry, cfg.ROB),
-		nextInum: 1,
-		headInum: 1,
+		cfg:       cfg,
+		src:       src,
+		hier:      hier,
+		tour:      predict.NewTournament(cfg.Tour),
+		line:      predict.NewLine(cfg.Hier.L1I.SizeBytes / 16),
+		way:       predict.NewWay(cfg.Hier.L1I.Sets()),
+		ras:       predict.NewRAS(cfg.RASEntries),
+		luse:      predict.NewLoadUse(),
+		stwt:      predict.NewStoreWait(),
+		rob:       make([]entry, cfg.ROB),
+		nextInum:  1,
+		headInum:  1,
+		mapInum:   1,
+		issueBase: 1,
+		wakeAt:    ^uint64(0),
+	}
+}
+
+// noWake is wakeAt's idle value: no completion or queue-free pending.
+const noWake = ^uint64(0)
+
+// idx maps an offset from the ROB head to a slot index. Offsets are
+// always < len(rob), so a conditional subtract replaces the modulo
+// that used to dominate the per-cycle scans.
+func (s *sim) idx(off int) int {
+	off += s.head
+	if n := len(s.rob); off >= n {
+		off -= n
+	}
+	return off
+}
+
+// schedule lowers the wake time to t if it is earlier.
+func (s *sim) schedule(t uint64) {
+	if t < s.wakeAt {
+		s.wakeAt = t
 	}
 }
 
@@ -291,8 +347,7 @@ func (s *sim) producerMemStall(e *entry) (events.Component, bool) {
 // at returns the ROB entry with the given inum, which must be in
 // flight.
 func (s *sim) at(inum uint64) *entry {
-	idx := (s.head + int(inum-s.headInum)) % len(s.rob)
-	return &s.rob[idx]
+	return &s.rob[s.idx(int(inum-s.headInum))]
 }
 
 // inFlight reports whether inum names an un-retired instruction.
@@ -308,7 +363,7 @@ func (s *sim) run() error {
 	const stuckLimit = 1 << 20
 	lastRetired, lastProgress := uint64(0), uint64(0)
 	for {
-		if s.count == 0 && s.srcDone && len(s.pending) == 0 {
+		if s.count == 0 && s.srcDone && s.pendLen == 0 {
 			return nil
 		}
 		before := s.retired
@@ -352,6 +407,9 @@ func (s *sim) freeQueueSlot(e *entry) {
 		return
 	}
 	e.queueFreed = true
+	if e.resolved {
+		s.outstanding--
+	}
 	if !intSide(e.cls) {
 		s.fpQ--
 	} else if e.cls != isa.ClassNop && e.cls != isa.ClassHalt || s.unopsThroughIssue() {
@@ -362,15 +420,46 @@ func (s *sim) freeQueueSlot(e *entry) {
 // resolveAndRetire processes completions (training predictors,
 // waking the front end, detecting traps) and retires from the head.
 func (s *sim) resolveAndRetire() {
-	// Resolution pass over in-flight instructions.
-	for i := 0; i < s.count; i++ {
-		e := &s.rob[(s.head+i)%len(s.rob)]
-		if e.issued && !e.queueFreed && s.cycle >= e.issueAt+uint64(s.cfg.QueueFreeLag) {
-			s.freeQueueSlot(e)
+	// Resolution pass over in-flight instructions. Completion and
+	// queue-free times are fixed at issue, so the scan is skipped
+	// outright until the earliest of them (wakeAt) arrives; when it
+	// runs, it rebuilds wakeAt from whatever is still outstanding.
+	// Entries at mapInum and beyond are unmapped, hence unissued,
+	// so the scan stops at the mapped prefix.
+	if s.cycle >= s.wakeAt {
+		next := uint64(noWake)
+		lag := uint64(s.cfg.QueueFreeLag)
+		end := int(s.mapInum - s.headInum)
+		if end > s.count {
+			end = s.count
 		}
-		if e.issued && !e.resolved && s.cycle >= e.doneAt {
-			s.resolve(e)
+		rem := s.outstanding
+		ix := s.head
+		for i := 0; i < end && rem > 0; i++ {
+			e := &s.rob[ix]
+			if ix++; ix == len(s.rob) {
+				ix = 0
+			}
+			if !e.issued || e.dropped || (e.resolved && e.queueFreed) {
+				continue
+			}
+			rem--
+			if !e.queueFreed {
+				if t := e.issueAt + lag; s.cycle >= t {
+					s.freeQueueSlot(e)
+				} else if t < next {
+					next = t
+				}
+			}
+			if !e.resolved {
+				if s.cycle >= e.doneAt {
+					s.resolve(e)
+				} else if e.doneAt < next {
+					next = e.doneAt
+				}
+			}
 		}
+		s.wakeAt = next
 	}
 	// In-order retire.
 	n := 0
@@ -400,6 +489,12 @@ func (s *sim) resolveAndRetire() {
 		s.cur.OnRetire(s.retired, s.cycle, &s.col)
 		n++
 	}
+	if n > 0 {
+		// Retirement can advance operand readiness (a retired
+		// producer's result no longer pays the cross-cluster hop), so
+		// the issue stage must look again.
+		s.issueIdleUntil = 0
+	}
 }
 
 // resolve handles one instruction's completion. Predictor training
@@ -407,6 +502,9 @@ func (s *sim) resolveAndRetire() {
 // resolution handles the timing consequences (fetch restart, traps).
 func (s *sim) resolve(e *entry) {
 	e.resolved = true
+	if e.queueFreed {
+		s.outstanding--
+	}
 	if e.rasOp {
 		s.inflightRASOps--
 	}
@@ -433,9 +531,13 @@ func (s *sim) resolve(e *entry) {
 		// Repair the speculative global history: retired history
 		// extended by the in-flight branches in program order (their
 		// outcomes where known, their predictions otherwise).
-		var outcomes []bool
+		s.specBuf = s.specBuf[:0]
+		ix := s.head
 		for i := 0; i < s.count; i++ {
-			f := &s.rob[(s.head+i)%len(s.rob)]
+			f := &s.rob[ix]
+			if ix++; ix == len(s.rob) {
+				ix = 0
+			}
 			if f.cls != isa.ClassCondBr || f.dropped {
 				continue
 			}
@@ -443,9 +545,9 @@ func (s *sim) resolve(e *entry) {
 			// is trace-driven); the hardware refetches and re-predicts
 			// everything younger than the mispredict, so their actual
 			// outcomes are what ends up in the history register.
-			outcomes = append(outcomes, f.rec.Taken)
+			s.specBuf = append(s.specBuf, f.rec.Taken)
 		}
-		s.tour.RebuildSpec(outcomes)
+		s.tour.RebuildSpec(s.specBuf)
 	}
 	if e.isStore {
 		s.storeTrapScan(e)
@@ -456,8 +558,12 @@ func (s *sim) resolve(e *entry) {
 // already issued to the same address granule as this just-resolved
 // store must replay (the 21264 flushes from the load onward).
 func (s *sim) storeTrapScan(st *entry) {
+	ix := s.idx(int(st.inum-s.headInum) + 1)
 	for i := int(st.inum-s.headInum) + 1; i < s.count; i++ {
-		e := &s.rob[(s.head+i)%len(s.rob)]
+		e := &s.rob[ix]
+		if ix++; ix == len(s.rob) {
+			ix = 0
+		}
 		if e.isLoad && e.issued && e.granule == st.granule && e.issueAt < st.doneAt {
 			s.col.Count(events.ReplayTraps, 1)
 			s.stwt.MarkTrap(e.rec.PC)
@@ -546,8 +652,12 @@ func (s *sim) execLatency(cls isa.Class) int {
 // olderStoreUnresolved reports whether any older store has not yet
 // resolved its address.
 func (s *sim) olderStoreUnresolved(e *entry) bool {
+	ix := s.head
 	for i := 0; i < int(e.inum-s.headInum); i++ {
-		o := &s.rob[(s.head+i)%len(s.rob)]
+		o := &s.rob[ix]
+		if ix++; ix == len(s.rob) {
+			ix = 0
+		}
 		if o.isStore && !o.issued {
 			return true
 		}
@@ -559,8 +669,12 @@ func (s *sim) olderStoreUnresolved(e *entry) bool {
 // load to the same granule already executed (a load-load order
 // violation replay trap).
 func (s *sim) loadOrderTrap(ld *entry) {
+	ix := s.idx(int(ld.inum-s.headInum) + 1)
 	for i := int(ld.inum-s.headInum) + 1; i < s.count; i++ {
-		e := &s.rob[(s.head+i)%len(s.rob)]
+		e := &s.rob[ix]
+		if ix++; ix == len(s.rob) {
+			ix = 0
+		}
 		if e.isLoad && e.issued && e.granule == ld.granule {
 			s.col.Count(events.ReplayTraps, 1)
 			s.blockIssue(s.cycle+uint64(s.cfg.TrapPenalty), events.CompReplay)
@@ -576,24 +690,64 @@ func intSide(cls isa.Class) bool {
 	return !cls.IsFP() || cls == isa.ClassFPLoad || cls == isa.ClassFPStore
 }
 
-// issue selects and starts instructions, oldest first.
+// issue selects and starts instructions, oldest first. The scan is
+// bounded below by the issued prefix (everything older than issueBase
+// has issued) and above by the mapped prefix (everything at mapInum
+// and beyond cannot issue yet).
 func (s *sim) issue() {
-	if s.cycle < s.issueBlockedUntil {
+	if s.cycle < s.issueBlockedUntil || s.cycle < s.issueIdleUntil {
 		return
 	}
+	if s.issueBase < s.headInum {
+		s.issueBase = s.headInum
+	}
+	for s.issueBase < s.headInum+uint64(s.count) && s.at(s.issueBase).issued {
+		s.issueBase++
+	}
+	start := int(s.issueBase - s.headInum)
+	end := int(s.mapInum - s.headInum)
+	if end > s.count {
+		end = s.count
+	}
+	if start >= end {
+		return
+	}
+
 	intLeft := s.cfg.IntIssueWidth
 	fpLeft := s.cfg.FPIssueWidth
 	memLeft := 2            // two memory ports (one per cluster, lower pipes)
 	var pipeUsed [2][2]bool // [cluster][upper]
 	fpAddUsed, fpMulUsed := false, false
 
-	for i := 0; i < s.count && (intLeft > 0 || fpLeft > 0); i++ {
-		e := &s.rob[(s.head+i)%len(s.rob)]
+	// If the whole scan issues nothing, the queue state is frozen until
+	// a known future cycle (collected in idleUntil), a map, or a
+	// retirement — so the stage can sleep until then. Skips whose wake
+	// time is unknowable here, and any cycle that consulted the
+	// (stateful, periodically-clearing) store-wait table, pin the scan
+	// awake instead.
+	issuedAny := false
+	noSkip := false
+	idleUntil := uint64(noWake)
+	deferUntil := func(t uint64) {
+		if t < idleUntil {
+			idleUntil = t
+		}
+	}
+
+	ix := s.idx(start)
+	for i := start; i < end && (intLeft > 0 || fpLeft > 0); i++ {
+		e := &s.rob[ix]
+		if ix++; ix == len(s.rob) {
+			ix = 0
+		}
 		if !e.mapped || e.issued || e.dropped {
 			continue
 		}
 		if s.cycle <= e.mapAt || s.cycle < e.minIssueAt {
-			continue // one-cycle queue write before issue eligibility
+			// One-cycle queue write before issue eligibility.
+			deferUntil(e.mapAt + 1)
+			deferUntil(e.minIssueAt)
+			continue
 		}
 		if e.cls == isa.ClassNop || e.cls == isa.ClassHalt {
 			// Unops reach here only when they consume issue slots: the
@@ -601,14 +755,17 @@ func (s *sim) issue() {
 			// also occupy a real pipe, contending with loads and
 			// multiplies for their subclusters.
 			if intLeft == 0 {
+				noSkip = true
 				continue
 			}
 			cluster, ok := s.pickIntPipe(e, &pipeUsed)
 			if !ok {
+				noSkip = true
 				continue
 			}
 			pipeUsed[cluster][b2i(e.slotUpper)] = true
 			intLeft--
+			issuedAny = true
 			s.start(e, cluster, 1)
 			continue
 		}
@@ -617,62 +774,88 @@ func (s *sim) issue() {
 			// multiply pipe; divide/sqrt occupy the add pipe
 			// non-pipelined.
 			if fpLeft == 0 {
+				noSkip = true
 				continue
 			}
 			if ready, ok := s.srcsReadyAt(e, -1); !ok || ready > s.cycle {
+				if ok {
+					deferUntil(ready) // unissued producers gate via their own entries
+				}
 				continue
 			}
 			lat := s.execLatency(e.cls)
 			switch e.cls {
 			case isa.ClassFPMul:
 				if fpMulUsed {
+					noSkip = true
 					continue
 				}
 				fpMulUsed = true
 			case isa.ClassFPDivS, isa.ClassFPDivT, isa.ClassFPSqrtS, isa.ClassFPSqrtT:
 				if fpAddUsed || s.cycle < s.fpDivBusyUntil {
+					if fpAddUsed {
+						noSkip = true
+					} else {
+						deferUntil(s.fpDivBusyUntil)
+					}
 					continue
 				}
 				fpAddUsed = true
 				s.fpDivBusyUntil = s.cycle + uint64(lat)
 			default: // FP add, compare, convert
 				if fpAddUsed {
+					noSkip = true
 					continue
 				}
 				fpAddUsed = true
 			}
 			fpLeft--
+			issuedAny = true
 			s.start(e, -1, lat)
 			continue
 		}
 		// Integer-side (including FP loads/stores).
 		if intLeft == 0 {
+			noSkip = true
 			continue
 		}
 		if e.cls.IsMem() && memLeft == 0 {
+			noSkip = true
 			continue
 		}
 		cluster, ok := s.pickIntPipe(e, &pipeUsed)
 		if !ok {
+			noSkip = true
 			continue
 		}
 		if ready, rok := s.srcsReadyAt(e, cluster); !rok || ready > s.cycle {
+			if rok {
+				deferUntil(ready)
+			}
 			continue
 		}
 		if e.cls.IsMem() {
 			if e.isLoad && s.cfg.Feat.StoreWait &&
 				s.stwt.ShouldWait(e.rec.PC, s.cycle) && s.olderStoreUnresolved(e) {
+				// ShouldWait ticks the table's periodic clear; its
+				// cycle-by-cycle call pattern must be preserved.
+				noSkip = true
 				continue
 			}
 			pipeUsed[cluster][b2i(e.slotUpper)] = true
 			intLeft--
 			memLeft--
+			issuedAny = true
 			s.issueMem(e, cluster)
 			continue
 		}
 		pipeUsed[cluster][b2i(e.slotUpper)] = true
 		intLeft--
+		issuedAny = true
 		s.start(e, cluster, s.execLatency(e.cls))
+	}
+	if !issuedAny && !noSkip {
+		s.issueIdleUntil = idleUntil
 	}
 }
 
@@ -685,6 +868,30 @@ func b2i(b bool) int {
 
 // pickIntPipe chooses an integer cluster/subcluster pipe for e.
 func (s *sim) pickIntPipe(e *entry, used *[2][2]bool) (int8, bool) {
+	if s.cfg.Feat.SlotRestrict && !s.cfg.Bugs.WrongFUMix && !s.cfg.Bugs.AggressiveScheduler {
+		// Validated 21264 configuration, unrolled: the slot table fixed
+		// each entry's subcluster at allocation (multiplies upper,
+		// memory lower), so the choice is just the preferred-cluster
+		// probe of the generic walk below.
+		if e.cls == isa.ClassIntMul {
+			if used[0][1] {
+				return 0, false // the one multiplier, cluster 0 upper
+			}
+			return 0, true
+		}
+		sub := b2i(e.slotUpper)
+		c0, c1 := int8(0), int8(1)
+		if e.slotUpper {
+			c0, c1 = 1, 0
+		}
+		if !used[c0][sub] {
+			return c0, true
+		}
+		if !used[c1][sub] {
+			return c1, true
+		}
+		return 0, false
+	}
 	sub := b2i(e.slotUpper)
 	needMul := e.cls == isa.ClassIntMul
 	needMem := e.cls.IsMem()
@@ -712,14 +919,15 @@ func (s *sim) pickIntPipe(e *entry, used *[2][2]bool) (int8, bool) {
 		}
 		return true
 	}
-	subs := []int{sub}
+	subs := [2]int{sub, 1 - sub}
+	nsub := 1
 	if !s.cfg.Feat.SlotRestrict {
-		subs = []int{sub, 1 - sub}
+		nsub = 2
 	}
 	if s.cfg.Bugs.AggressiveScheduler {
 		best, bestReady := int8(-1), uint64(1)<<63
-		for _, c := range []int8{0, 1} {
-			for _, sb := range subs {
+		for c := int8(0); c < 2; c++ {
+			for _, sb := range subs[:nsub] {
 				if !canDo(int(c), sb) {
 					continue
 				}
@@ -737,12 +945,12 @@ func (s *sim) pickIntPipe(e *entry, used *[2][2]bool) (int8, bool) {
 	}
 	// Validated 21264 rule: upper-slotted prefer cluster 1, lower-
 	// slotted prefer cluster 0.
-	order := []int8{0, 1}
+	order := [2]int8{0, 1}
 	if e.slotUpper {
-		order = []int8{1, 0}
+		order = [2]int8{1, 0}
 	}
 	for _, c := range order {
-		for _, sb := range subs {
+		for _, sb := range subs[:nsub] {
 			if canDo(int(c), sb) {
 				return c, true
 			}
@@ -754,6 +962,7 @@ func (s *sim) pickIntPipe(e *entry, used *[2][2]bool) (int8, bool) {
 // start marks e issued with the given latency on a cluster.
 func (s *sim) start(e *entry, cluster int8, lat int) {
 	e.issued = true
+	s.outstanding++
 	e.issueAt = s.cycle
 	e.cluster = cluster
 	e.readyAt = s.cycle + uint64(lat)
@@ -764,12 +973,15 @@ func (s *sim) start(e *entry, cluster int8, lat int) {
 		// at resolve via waitBranch handling.
 		e.doneAt = e.readyAt
 	}
+	s.schedule(e.doneAt)
+	s.schedule(e.issueAt + uint64(s.cfg.QueueFreeLag))
 }
 
 // issueMem issues a load or store: it walks the memory hierarchy,
 // applies load-use speculation, and schedules traps.
 func (s *sim) issueMem(e *entry, cluster int8) {
 	e.issued = true
+	s.outstanding++
 	e.issueAt = s.cycle
 	e.cluster = cluster
 
@@ -815,6 +1027,8 @@ func (s *sim) issueMem(e *entry, cluster int8) {
 		e.readyAt = s.cycle + 1
 		e.doneAt = e.readyAt
 		s.readyByInum[e.inum%uint64(len(s.readyByInum))] = e.readyAt
+		s.schedule(e.doneAt)
+		s.schedule(e.issueAt + uint64(s.cfg.QueueFreeLag))
 		return
 	}
 
@@ -858,6 +1072,8 @@ func (s *sim) issueMem(e *entry, cluster int8) {
 	}
 	e.doneAt = e.readyAt
 	s.readyByInum[e.inum%uint64(len(s.readyByInum))] = e.readyAt
+	s.schedule(e.doneAt)
+	s.schedule(e.issueAt + uint64(s.cfg.QueueFreeLag))
 
 	// Load-load ordering: if a younger load to the same granule has
 	// already executed, the machine replays.
@@ -878,20 +1094,13 @@ func (s *sim) mapStage() {
 		return
 	}
 	for n := 0; n < s.cfg.MapWidth; n++ {
-		if s.count == 0 {
+		// Entries map strictly in program order, so the oldest
+		// unmapped one is always at mapInum — no scan.
+		if s.mapInum >= s.headInum+uint64(s.count) {
 			break
 		}
-		// Find the oldest fetched-but-unmapped entry; entries are in
-		// program order, so scan from the head.
-		var e *entry
-		for i := 0; i < s.count; i++ {
-			c := &s.rob[(s.head+i)%len(s.rob)]
-			if !c.mapped {
-				e = c
-				break
-			}
-		}
-		if e == nil || s.cycle < e.availAt {
+		e := s.at(s.mapInum)
+		if s.cycle < e.availAt {
 			break
 		}
 		cls := e.cls
@@ -924,6 +1133,8 @@ func (s *sim) mapStage() {
 		// Commit the map.
 		e.mapped = true
 		e.mapAt = s.cycle
+		s.mapInum++
+		s.issueIdleUntil = 0 // new queue entry: the issue scan must look again
 		if e.hasDest {
 			if e.dest.FP {
 				s.fpInFlight++

@@ -1,0 +1,257 @@
+package benchtrack
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGccFull            	       4	 286401563 ns/op	    750000 detailed_insts	 1068224 B/op	     119 allocs/op
+BenchmarkGccFull            	       4	 290100000 ns/op	    750000 detailed_insts	 1068230 B/op	     119 allocs/op
+BenchmarkGccSampled-8       	      12	  98001111 ns/op	    150000 detailed_insts	         5.000 speedup	 1073061 B/op	     143 allocs/op
+BenchmarkSimAlphaThroughput 	      58	  21365910 ns/op	   7582419 insts/s	  809696 B/op	      72 allocs/op
+PASS
+ok  	repro	195.892s
+`
+
+func TestParse(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Goos != "linux" || tr.Goarch != "amd64" || tr.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", tr.Goos, tr.Goarch, tr.Pkg)
+	}
+	if !strings.Contains(tr.CPU, "Xeon") {
+		t.Errorf("cpu = %q", tr.CPU)
+	}
+	if len(tr.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(tr.Benchmarks))
+	}
+
+	// -count folding: two GccFull lines become one entry, 2 samples.
+	gcc := tr.Benchmarks["BenchmarkGccFull"]
+	if gcc.Samples != 2 {
+		t.Errorf("GccFull samples = %d, want 2", gcc.Samples)
+	}
+	ns := gcc.Metrics["ns/op"]
+	if ns.Min != 286401563 || ns.Max != 290100000 {
+		t.Errorf("ns/op min/max = %v/%v", ns.Min, ns.Max)
+	}
+	if want := (286401563.0 + 290100000.0) / 2; math.Abs(ns.Mean-want) > 1 {
+		t.Errorf("ns/op mean = %v, want %v", ns.Mean, want)
+	}
+
+	// The -8 GOMAXPROCS suffix is stripped to the canonical name, and
+	// custom metrics survive.
+	sampled, ok := tr.Benchmarks["BenchmarkGccSampled"]
+	if !ok {
+		t.Fatal("BenchmarkGccSampled-8 not canonicalized")
+	}
+	if sp := sampled.Metrics["speedup"]; sp.Mean != 5.0 {
+		t.Errorf("speedup = %v, want 5", sp.Mean)
+	}
+	if di := sampled.Metrics["detailed_insts"]; di.Mean != 150000 {
+		t.Errorf("detailed_insts = %v", di.Mean)
+	}
+	thr := tr.Benchmarks["BenchmarkSimAlphaThroughput"]
+	if is := thr.Metrics["insts/s"]; is.Mean != 7582419 {
+		t.Errorf("insts/s = %v", is.Mean)
+	}
+}
+
+func TestParseRejectsGarbageResultLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 12 nope ns/op\n",
+		"BenchmarkX notanint 5 ns/op\n",
+		"BenchmarkX 1 5\n", // odd field count: value with no unit
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("Parse with no benchmark lines succeeded, want error")
+	}
+}
+
+func TestParseNameEchoLine(t *testing.T) {
+	// Long benchmark names print as a bare name line with the result
+	// on the following line.
+	out := "BenchmarkVeryLongName\nBenchmarkVeryLongName-8 \t 10\t 100 ns/op\n"
+	tr, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := tr.Benchmarks["BenchmarkVeryLongName"]
+	if !ok || b.Samples != 1 {
+		t.Fatalf("echo-line handling broke: %+v", tr.Benchmarks)
+	}
+}
+
+// mkTraj builds a single-benchmark trajectory where every metric has
+// identical min/mean/max (one sample).
+func mkTraj(name string, metrics map[string]float64) *Trajectory {
+	b := Benchmark{Samples: 1, Metrics: map[string]Metric{}}
+	for u, v := range metrics {
+		b.Metrics[u] = Metric{Mean: v, Min: v, Max: v}
+	}
+	return &Trajectory{Schema: Schema, Benchmarks: map[string]Benchmark{name: b}}
+}
+
+// TestCompareBands is the edge-case table the harness promises:
+// within-band, outside-band (each direction class), missing benchmark,
+// new benchmark.
+func TestCompareBands(t *testing.T) {
+	base := mkTraj("BenchmarkX", map[string]float64{
+		"ns/op":          1_000_000,
+		"allocs/op":      100,
+		"insts/s":        5_000_000,
+		"detailed_insts": 750_000,
+	})
+	cases := []struct {
+		name string
+		cand *Trajectory
+		ok   bool
+		unit string // unit expected to violate when !ok
+	}{
+		{"identical", mkTraj("BenchmarkX", map[string]float64{
+			"ns/op": 1_000_000, "allocs/op": 100, "insts/s": 5_000_000, "detailed_insts": 750_000}), true, ""},
+		{"within all bands", mkTraj("BenchmarkX", map[string]float64{
+			"ns/op": 1_800_000, "allocs/op": 105, "insts/s": 2_500_000, "detailed_insts": 751_000}), true, ""},
+		{"allocs regression outside 10%+2", mkTraj("BenchmarkX", map[string]float64{
+			"ns/op": 1_000_000, "allocs/op": 113, "insts/s": 5_000_000, "detailed_insts": 750_000}), false, "allocs/op"},
+		{"wall-clock blowup outside 2.5x", mkTraj("BenchmarkX", map[string]float64{
+			"ns/op": 2_600_000, "allocs/op": 100, "insts/s": 5_000_000, "detailed_insts": 750_000}), false, "ns/op"},
+		{"throughput collapse below floor", mkTraj("BenchmarkX", map[string]float64{
+			"ns/op": 1_000_000, "allocs/op": 100, "insts/s": 1_900_000, "detailed_insts": 750_000}), false, "insts/s"},
+		{"deterministic drift, either direction", mkTraj("BenchmarkX", map[string]float64{
+			"ns/op": 1_000_000, "allocs/op": 100, "insts/s": 5_000_000, "detailed_insts": 700_000}), false, "detailed_insts"},
+		{"missing metric skipped", mkTraj("BenchmarkX", map[string]float64{
+			"ns/op": 1_000_000}), true, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := Compare(base, c.cand, nil)
+			if rep.OK() != c.ok {
+				t.Fatalf("OK() = %v, want %v\n%s", rep.OK(), c.ok, rep)
+			}
+			if !c.ok {
+				found := false
+				for _, v := range rep.Violations {
+					if v.Unit == c.unit {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no violation for unit %q\n%s", c.unit, rep)
+				}
+			}
+		})
+	}
+}
+
+func TestCompareMissingAndNewBenchmarks(t *testing.T) {
+	base := mkTraj("BenchmarkOld", map[string]float64{"ns/op": 100})
+	cand := mkTraj("BenchmarkNew", map[string]float64{"ns/op": 100})
+	rep := Compare(base, cand, nil)
+	if rep.OK() {
+		t.Fatal("missing baseline benchmark did not fail")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkOld" {
+		t.Errorf("Missing = %v", rep.Missing)
+	}
+	if len(rep.New) != 1 || rep.New[0] != "BenchmarkNew" {
+		t.Errorf("New = %v", rep.New)
+	}
+	// A new benchmark alone never fails.
+	both := mkTraj("BenchmarkOld", map[string]float64{"ns/op": 100})
+	both.Benchmarks["BenchmarkNew"] = cand.Benchmarks["BenchmarkNew"]
+	if rep := Compare(base, both, nil); !rep.OK() {
+		t.Errorf("new benchmark caused failure:\n%s", rep)
+	}
+}
+
+func TestSpeedupBandIsTight(t *testing.T) {
+	base := mkTraj("BenchmarkGccSampled", map[string]float64{"speedup": 5.0})
+	if rep := Compare(base, mkTraj("BenchmarkGccSampled", map[string]float64{"speedup": 4.5}), nil); rep.OK() {
+		t.Error("10% speedup loss passed the 2% band")
+	}
+	if rep := Compare(base, mkTraj("BenchmarkGccSampled", map[string]float64{"speedup": 4.95}), nil); !rep.OK() {
+		t.Error("1% jitter failed the 2% band")
+	}
+	// Improvement is fine for higher-is-better.
+	if rep := Compare(base, mkTraj("BenchmarkGccSampled", map[string]float64{"speedup": 6.0}), nil); !rep.OK() {
+		t.Error("speedup improvement flagged as regression")
+	}
+}
+
+func TestStoreRoundTripAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := NextID(dir)
+	if err != nil || id != 1 {
+		t.Fatalf("NextID empty dir = %d, %v", id, err)
+	}
+	tr.ID = id
+	tr.Note = "first"
+	if err := Save(filepath.Join(dir, FileName(id)), tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := *tr
+	tr2.ID = 2
+	tr2.Note = "second"
+	if err := Save(filepath.Join(dir, FileName(2)), &tr2); err != nil {
+		t.Fatal(err)
+	}
+
+	latest, path, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.ID != 2 || latest.Note != "second" {
+		t.Errorf("Latest = id %d %q (path %s), want 2 \"second\"", latest.ID, latest.Note, path)
+	}
+	if id, _ := NextID(dir); id != 3 {
+		t.Errorf("NextID = %d, want 3", id)
+	}
+
+	// Round trip preserves the parsed content.
+	re, err := Load(filepath.Join(dir, FileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Benchmarks) != len(tr.Benchmarks) {
+		t.Errorf("round trip lost benchmarks: %d vs %d", len(re.Benchmarks), len(tr.Benchmarks))
+	}
+	got := re.Benchmarks["BenchmarkGccFull"].Metrics["ns/op"]
+	want := tr.Benchmarks["BenchmarkGccFull"].Metrics["ns/op"]
+	if got != want {
+		t.Errorf("round trip changed ns/op: %+v vs %+v", got, want)
+	}
+
+	// Self-comparison of a real trajectory is clean.
+	if rep := Compare(tr, re, nil); !rep.OK() {
+		t.Errorf("self comparison failed:\n%s", rep)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName(1))
+	if err := Save(path, &Trajectory{Schema: "bench/v0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package benchtrack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Band is the tolerance applied to one metric when comparing a
+// candidate trajectory against a baseline. A candidate value passes
+// when it is no worse than the baseline by more than Ratio
+// (multiplicative) plus Abs (additive) in the metric's bad direction.
+type Band struct {
+	// Ratio is the multiplicative slack (>= 1). 1.10 allows a 10%
+	// regression before failing.
+	Ratio float64
+	// Abs is additive slack applied after Ratio, absorbing
+	// quantization on small counters (e.g. allocs/op of 72 ± 2).
+	Abs float64
+	// HigherBetter inverts the bad direction: the metric regresses by
+	// shrinking (insts/s, speedup).
+	HigherBetter bool
+	// TwoSided fails movement in either direction; used for metrics
+	// that are deterministic properties of the simulation (such as
+	// detailed_insts) where any drift means behavior changed.
+	TwoSided bool
+}
+
+// DefaultBand returns the tolerance for a metric unit.
+//
+// Deterministic counters get tight bands: they are machine-independent
+// and any real movement is a code change, not noise. Wall-clock series
+// get wide bands because CI machines differ from the machines
+// trajectories were recorded on; the tight counters are the primary
+// regression trip-wire, wall-clock the backstop for pathological
+// slowdowns.
+func DefaultBand(unit string) Band {
+	switch unit {
+	case "allocs/op":
+		return Band{Ratio: 1.10, Abs: 2}
+	case "B/op":
+		return Band{Ratio: 1.25, Abs: 4096}
+	case "ns/op":
+		return Band{Ratio: 2.5}
+	case "insts/s":
+		return Band{Ratio: 2.5, HigherBetter: true}
+	case "speedup":
+		return Band{Ratio: 1.02, HigherBetter: true}
+	case "detailed_insts":
+		return Band{Ratio: 1.01, TwoSided: true}
+	}
+	return Band{Ratio: 2.0}
+}
+
+// Violation is one metric outside its band.
+type Violation struct {
+	Benchmark string
+	Unit      string
+	Base      float64
+	Cand      float64
+	// Limit is the boundary the candidate crossed: an upper bound for
+	// lower-is-better metrics, a lower bound for higher-is-better.
+	Limit float64
+	Msg   string
+}
+
+// Report is the outcome of comparing a candidate against a baseline.
+type Report struct {
+	Violations []Violation
+	// Missing lists baseline benchmarks absent from the candidate;
+	// each is also a Violation.
+	Missing []string
+	// New lists candidate benchmarks absent from the baseline;
+	// informational only.
+	New []string
+}
+
+// OK reports whether the candidate is within every band.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report for humans (and CI logs).
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.OK() {
+		b.WriteString("benchtrack: all benchmarks within tolerance\n")
+	} else {
+		fmt.Fprintf(&b, "benchtrack: %d violation(s)\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  FAIL %-28s %-15s %s\n", v.Benchmark, v.Unit, v.Msg)
+		}
+	}
+	for _, n := range r.New {
+		fmt.Fprintf(&b, "  new benchmark (not compared): %s\n", n)
+	}
+	return b.String()
+}
+
+// Compare measures a candidate trajectory against a baseline using
+// per-unit bands from bandFor (nil means DefaultBand). Comparison is
+// best-vs-best within each metric's samples: min against min for
+// lower-is-better, max against max for higher-is-better, mean against
+// mean for two-sided metrics — repeated samples exist to shed noise,
+// not to widen the band. Metrics present on only one side are skipped
+// (recording flags may differ); whole benchmarks missing from the
+// candidate are violations.
+func Compare(base, cand *Trajectory, bandFor func(unit string) Band) *Report {
+	if bandFor == nil {
+		bandFor = DefaultBand
+	}
+	rep := &Report{}
+	for _, name := range sortedKeys(base.Benchmarks) {
+		bb := base.Benchmarks[name]
+		cb, ok := cand.Benchmarks[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			rep.Violations = append(rep.Violations, Violation{
+				Benchmark: name,
+				Msg:       "present in baseline, missing from candidate run",
+			})
+			continue
+		}
+		for _, unit := range sortedKeys(bb.Metrics) {
+			bm := bb.Metrics[unit]
+			cm, ok := cb.Metrics[unit]
+			if !ok {
+				continue
+			}
+			if v, bad := check(bm, cm, bandFor(unit)); bad {
+				v.Benchmark, v.Unit = name, unit
+				rep.Violations = append(rep.Violations, v)
+			}
+		}
+	}
+	for _, name := range sortedKeys(cand.Benchmarks) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			rep.New = append(rep.New, name)
+		}
+	}
+	return rep
+}
+
+// check applies one band. The zero band (Ratio 0) is normalized to
+// Ratio 1 (exact). The ratio bounds are sign-aware so that any
+// baseline value — including zero and negatives, which fuzzed inputs
+// produce — sits inside its own band: upper(v) >= v >= lower(v).
+func check(base, cand Metric, band Band) (Violation, bool) {
+	ratio := band.Ratio
+	if ratio < 1 {
+		ratio = 1
+	}
+	upper := func(v float64) float64 {
+		if v >= 0 {
+			return v*ratio + band.Abs
+		}
+		return v/ratio + band.Abs
+	}
+	lower := func(v float64) float64 {
+		if v >= 0 {
+			return (v - band.Abs) / ratio
+		}
+		return v*ratio - band.Abs
+	}
+	switch {
+	case band.TwoSided:
+		hi := upper(base.Mean)
+		lo := lower(base.Mean)
+		if cand.Mean > hi {
+			return Violation{Base: base.Mean, Cand: cand.Mean, Limit: hi,
+				Msg: fmt.Sprintf("%.6g above two-sided band [%.6g, %.6g] (baseline %.6g)", cand.Mean, lo, hi, base.Mean)}, true
+		}
+		if cand.Mean < lo {
+			return Violation{Base: base.Mean, Cand: cand.Mean, Limit: lo,
+				Msg: fmt.Sprintf("%.6g below two-sided band [%.6g, %.6g] (baseline %.6g)", cand.Mean, lo, hi, base.Mean)}, true
+		}
+	case band.HigherBetter:
+		floor := lower(base.Max)
+		if cand.Max < floor {
+			return Violation{Base: base.Max, Cand: cand.Max, Limit: floor,
+				Msg: fmt.Sprintf("%.6g below floor %.6g (baseline %.6g, ratio %.2f)", cand.Max, floor, base.Max, ratio)}, true
+		}
+	default:
+		limit := upper(base.Min)
+		if cand.Min > limit {
+			return Violation{Base: base.Min, Cand: cand.Min, Limit: limit,
+				Msg: fmt.Sprintf("%.6g above limit %.6g (baseline %.6g, ratio %.2f)", cand.Min, limit, base.Min, ratio)}, true
+		}
+	}
+	return Violation{}, false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

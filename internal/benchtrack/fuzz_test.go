@@ -1,0 +1,76 @@
+package benchtrack
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the raw-output parser with arbitrary text. The
+// invariants: no panic; on success the trajectory is well-formed
+// (schema tag set, every benchmark has samples and every metric
+// min <= mean <= max); and a successful parse survives a JSON round
+// trip and compares clean against itself.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleOutput)
+	f.Add("BenchmarkX-16 \t 100\t 12.5 ns/op\t 3 allocs/op\n")
+	f.Add("BenchmarkEcho\nBenchmarkEcho-2 1 2 ns/op\n")
+	f.Add("goos: linux\ncpu: weird: colons: everywhere\nBenchmarkY 1 1 ns/op\n")
+	f.Add("Benchmark")                // prefix only
+	f.Add("BenchmarkX 1 1e309 ns/op") // float overflow
+	f.Add("BenchmarkX 1 NaN ns/op")   // ParseFloat accepts NaN
+	f.Add("PASS\nok\tx\t1s\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tr.Schema != Schema {
+			t.Fatalf("schema = %q", tr.Schema)
+		}
+		if len(tr.Benchmarks) == 0 {
+			t.Fatal("successful parse with zero benchmarks")
+		}
+		for name, b := range tr.Benchmarks {
+			if b.Samples <= 0 {
+				t.Fatalf("%s: %d samples", name, b.Samples)
+			}
+			for unit, m := range b.Metrics {
+				// NaN breaks ordering; all three then disagree, which
+				// is fine — just require consistency when comparable.
+				if m.Min == m.Min && m.Max == m.Max && (m.Min > m.Mean || m.Mean > m.Max) {
+					t.Fatalf("%s %s: min %v mean %v max %v", name, unit, m.Min, m.Mean, m.Max)
+				}
+			}
+		}
+		// Round trip through the on-disk form. NaN/Inf are not
+		// representable in JSON; Save correctly refuses them.
+		if !hasNonFinite(tr) {
+			dir := t.TempDir()
+			if err := Save(dir+"/BENCH_0001.json", tr); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			re, err := Load(dir + "/BENCH_0001.json")
+			if err != nil {
+				t.Fatalf("Load after Save: %v", err)
+			}
+			if rep := Compare(tr, re, nil); !rep.OK() {
+				t.Fatalf("round trip not self-consistent:\n%s", rep)
+			}
+		}
+	})
+}
+
+func hasNonFinite(tr *Trajectory) bool {
+	bad := func(v float64) bool {
+		return v != v || v > 1.7e308 || v < -1.7e308
+	}
+	for _, b := range tr.Benchmarks {
+		for _, m := range b.Metrics {
+			if bad(m.Mean) || bad(m.Min) || bad(m.Max) {
+				return true
+			}
+		}
+	}
+	return false
+}

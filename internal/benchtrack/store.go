@@ -1,0 +1,87 @@
+package benchtrack
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// fileRE matches committed trajectory files: BENCH_0001.json.
+var fileRE = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+
+// FileName renders the canonical file name for a trajectory id.
+func FileName(id int) string { return fmt.Sprintf("BENCH_%04d.json", id) }
+
+// Load reads one trajectory file and validates its schema tag.
+func Load(path string) (*Trajectory, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if tr.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, tr.Schema, Schema)
+	}
+	return &tr, nil
+}
+
+// Save writes a trajectory as indented JSON (stable key order, so
+// committed files diff cleanly).
+func Save(path string, tr *Trajectory) error {
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ids returns the sorted trajectory ids present in dir.
+func ids(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range ents {
+		if m := fileRE.FindStringSubmatch(e.Name()); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Latest loads the highest-numbered trajectory in dir — the baseline a
+// candidate run is compared against.
+func Latest(dir string) (*Trajectory, string, error) {
+	ns, err := ids(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(ns) == 0 {
+		return nil, "", fmt.Errorf("%s: no BENCH_*.json trajectory files", dir)
+	}
+	path := filepath.Join(dir, FileName(ns[len(ns)-1]))
+	tr, err := Load(path)
+	return tr, path, err
+}
+
+// NextID returns one past the highest id in dir (1 for an empty dir).
+func NextID(dir string) (int, error) {
+	ns, err := ids(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(ns) == 0 {
+		return 1, nil
+	}
+	return ns[len(ns)-1] + 1, nil
+}

@@ -72,6 +72,14 @@ type Hierarchy struct {
 	mafI, mafD, mafL2 *MAF
 	Mapper            vm.Mapper
 
+	// lastVPage/lastPBase cache the most recent translation. Mapping
+	// is first-touch-stable, so replaying a mapped page through the
+	// Mapper is pure overhead — and both the timed paths and the
+	// functional fast-forward (WarmInst/WarmData) translate runs of
+	// same-page addresses. lastVPage starts at an unreachable sentinel.
+	lastVPage uint64
+	lastPBase uint64
+
 	l2BusFreeAt uint64
 
 	// Prefetches counts I-cache prefetch fills issued.
@@ -82,14 +90,15 @@ type Hierarchy struct {
 // policy, and a DRAM model.
 func NewHierarchy(cfg HierarchyConfig, mapper vm.Mapper, mem *dram.DRAM) *Hierarchy {
 	h := &Hierarchy{
-		Cfg:    cfg,
-		L1I:    New(cfg.L1I),
-		L1D:    New(cfg.L1D),
-		L2:     New(cfg.L2),
-		ITLB:   vm.NewTLB(cfg.ITLBEntries),
-		DTLB:   vm.NewTLB(cfg.DTLBEntries),
-		Mem:    mem,
-		Mapper: mapper,
+		Cfg:       cfg,
+		L1I:       New(cfg.L1I),
+		L1D:       New(cfg.L1D),
+		L2:        New(cfg.L2),
+		ITLB:      vm.NewTLB(cfg.ITLBEntries),
+		DTLB:      vm.NewTLB(cfg.DTLBEntries),
+		Mem:       mem,
+		Mapper:    mapper,
+		lastVPage: ^uint64(0),
 	}
 	if cfg.VictimEntries > 0 {
 		h.VB = NewVictimBuffer(cfg.VictimEntries)
@@ -108,9 +117,19 @@ func NewHierarchy(cfg HierarchyConfig, mapper vm.Mapper, mem *dram.DRAM) *Hierar
 // MAFD exposes the data-side miss address file (for trap modeling).
 func (h *Hierarchy) MAFD() *MAF { return h.mafD }
 
-// translate maps a virtual address through the hierarchy's policy.
+// translate maps a virtual address through the hierarchy's policy,
+// short-circuiting repeats of the most recently translated page. The
+// cache is filled only after a Mapper call, so first-touch allocation
+// order — which the mapping policies depend on — is untouched.
 func (h *Hierarchy) translate(vaddr uint64) uint64 {
-	return vm.Translate(h.Mapper, vaddr)
+	vpage := vaddr >> vm.PageBits
+	if vpage == h.lastVPage {
+		return h.lastPBase | vaddr&vm.PageMask
+	}
+	paddr := vm.Translate(h.Mapper, vaddr)
+	h.lastVPage = vpage
+	h.lastPBase = paddr &^ uint64(vm.PageMask)
+	return paddr
 }
 
 // l2Access runs one access at the L2 and below, returning its

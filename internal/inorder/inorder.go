@@ -127,7 +127,8 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 		}
 
 		// Wait for source operands (in-order: full latency exposure).
-		for _, s := range rec.Inst.Sources() {
+		var srcs [3]isa.RegRef
+		for _, s := range srcs[:rec.Inst.SourcesInto(&srcs)] {
 			file := 0
 			if s.FP {
 				file = 1

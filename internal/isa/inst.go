@@ -136,10 +136,23 @@ func (r RegRef) Valid() bool { return r.Reg != Zero }
 // excluding the zero register. The result has at most three entries
 // (conditional moves read the old destination).
 func (in Inst) Sources() []RegRef {
-	var out []RegRef
+	var buf [3]RegRef
+	n := in.SourcesInto(&buf)
+	out := make([]RegRef, n)
+	copy(out, buf[:n])
+	return out
+}
+
+// SourcesInto writes the instruction's source registers into buf and
+// returns how many there are. It is the allocation-free form of
+// Sources for per-instruction hot paths (rename/dispatch in the
+// timing models), where the caller owns the scratch buffer.
+func (in Inst) SourcesInto(buf *[3]RegRef) int {
+	n := 0
 	add := func(r Reg, fp bool) {
 		if r != Zero {
-			out = append(out, RegRef{r, fp})
+			buf[n] = RegRef{r, fp}
+			n++
 		}
 	}
 	fpa, fpb, fpc := in.Op.FPOperands()
@@ -167,7 +180,7 @@ func (in Inst) Sources() []RegRef {
 	case FmtJump:
 		add(in.Rb, false)
 	}
-	return out
+	return n
 }
 
 // Dest returns the architectural register the instruction writes, if

@@ -305,8 +305,13 @@ type sim struct {
 	btb    *btb
 	ras    *predict.RAS
 
-	pending     []cpu.Record
-	srcDone     bool
+	// pend is the fetched-from-stream lookahead, a fixed ring sized at
+	// construction so the steady-state fetch path allocates nothing.
+	pend     []cpu.Record
+	pendHead int
+	pendLen  int
+	srcDone  bool
+
 	rob         []entry
 	head        int
 	count       int
@@ -314,6 +319,20 @@ type sim struct {
 	headInum    uint64
 	lastWriter  [2][isa.NumRegs]uint64
 	readyByInum [4096]uint64
+
+	// Scan accelerators, mirroring the alpha model: entries dispatch in
+	// program order, so the oldest unmapped entry is always at mapInum;
+	// everything older than issueBase has issued; wakeAt is the
+	// earliest outstanding completion, gating the resolution scan; and
+	// issueIdleUntil lets the issue scan sleep when a full pass proved
+	// nothing can become eligible before a known cycle. outstanding
+	// counts issued-but-unresolved entries so the resolution scan can
+	// stop early.
+	mapInum        uint64
+	issueBase      uint64
+	wakeAt         uint64
+	issueIdleUntil uint64
+	outstanding    int
 
 	lsqCount    int
 	intInFlight int
@@ -339,15 +358,19 @@ type sim struct {
 
 func newSim(cfg Config, src cpu.Source) *sim {
 	s := &sim{
-		cfg:      cfg,
-		src:      src,
-		hier:     cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), dram.New(cfg.DRAM)),
-		gshare:   make([]predict.SatCounter, 1<<cfg.GShareBits),
-		btb:      newBTB(cfg.BTBSets, cfg.BTBAssoc),
-		ras:      predict.NewRAS(cfg.RASEntries),
-		rob:      make([]entry, cfg.RUUSize),
-		nextInum: 1,
-		headInum: 1,
+		cfg:       cfg,
+		src:       src,
+		hier:      cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), dram.New(cfg.DRAM)),
+		gshare:    make([]predict.SatCounter, 1<<cfg.GShareBits),
+		btb:       newBTB(cfg.BTBSets, cfg.BTBAssoc),
+		ras:       predict.NewRAS(cfg.RASEntries),
+		pend:      make([]cpu.Record, 2*cfg.FetchWidth),
+		rob:       make([]entry, cfg.RUUSize),
+		nextInum:  1,
+		headInum:  1,
+		mapInum:   1,
+		issueBase: 1,
+		wakeAt:    noWake,
 	}
 	for i := range s.gshare {
 		s.gshare[i] = predict.NewSatCounter(2, 1)
@@ -380,14 +403,34 @@ func (s *sim) inFlight(inum uint64) bool {
 	return inum >= s.headInum && inum < s.headInum+uint64(s.count)
 }
 
+// noWake is wakeAt's idle value: no completion pending.
+const noWake = ^uint64(0)
+
+// idx maps an offset from the window head to a slot index; offsets
+// are always < len(rob), so a conditional subtract replaces modulo.
+func (s *sim) idx(off int) int {
+	off += s.head
+	if n := len(s.rob); off >= n {
+		off -= n
+	}
+	return off
+}
+
+// schedule lowers the wake time to t if it is earlier.
+func (s *sim) schedule(t uint64) {
+	if t < s.wakeAt {
+		s.wakeAt = t
+	}
+}
+
 func (s *sim) at(inum uint64) *entry {
-	return &s.rob[(s.head+int(inum-s.headInum))%len(s.rob)]
+	return &s.rob[s.idx(int(inum-s.headInum))]
 }
 
 func (s *sim) run() error {
 	const cycleCap = 1 << 34
 	for {
-		if s.count == 0 && s.srcDone && len(s.pending) == 0 {
+		if s.count == 0 && s.srcDone && s.pendLen == 0 {
 			return nil
 		}
 		before := s.retired
@@ -472,16 +515,34 @@ func (s *sim) producerMemStall(e *entry) (events.Component, bool) {
 }
 
 func (s *sim) commit() {
-	// Resolve completions.
-	for i := 0; i < s.count; i++ {
-		e := &s.rob[(s.head+i)%len(s.rob)]
-		if e.issued && !e.resolved && s.cycle >= e.doneAt {
-			e.resolved = true
-			if e.mispredicted && s.waitBranch == e.inum {
-				s.blockFetch(e.doneAt+uint64(s.cfg.BrPenalty), events.CompBranch)
-				s.waitBranch = 0
+	// Resolve completions. Completion times are fixed at issue, so the
+	// scan sleeps until the earliest of them (wakeAt) and stops once
+	// every outstanding entry has been seen.
+	if s.cycle >= s.wakeAt {
+		next := uint64(noWake)
+		rem := s.outstanding
+		ix := s.head
+		for i := 0; i < s.count && rem > 0; i++ {
+			e := &s.rob[ix]
+			if ix++; ix == len(s.rob) {
+				ix = 0
+			}
+			if !e.issued || e.resolved {
+				continue
+			}
+			rem--
+			if s.cycle >= e.doneAt {
+				e.resolved = true
+				s.outstanding--
+				if e.mispredicted && s.waitBranch == e.inum {
+					s.blockFetch(e.doneAt+uint64(s.cfg.BrPenalty), events.CompBranch)
+					s.waitBranch = 0
+				}
+			} else if e.doneAt < next {
+				next = e.doneAt
 			}
 		}
+		s.wakeAt = next
 	}
 	// In-order commit.
 	n := 0
@@ -506,6 +567,9 @@ func (s *sim) commit() {
 		s.retired++
 		s.cur.OnRetire(s.retired, s.cycle, &s.col)
 		n++
+	}
+	if n > 0 {
+		s.issueIdleUntil = 0
 	}
 }
 
@@ -565,26 +629,67 @@ func latency(cls isa.Class) int {
 }
 
 func (s *sim) issue() {
+	if s.cycle < s.issueIdleUntil {
+		return
+	}
+	if s.issueBase < s.headInum {
+		s.issueBase = s.headInum
+	}
+	for s.issueBase < s.headInum+uint64(s.count) && s.at(s.issueBase).issued {
+		s.issueBase++
+	}
+	start := int(s.issueBase - s.headInum)
+	end := int(s.mapInum - s.headInum)
+	if end > s.count {
+		end = s.count
+	}
+	if start >= end {
+		return
+	}
+
 	left := s.cfg.IssueWidth
 	intALU, intMul := s.cfg.IntALU, s.cfg.IntMul
 	fpALU, fpMD := s.cfg.FPALU, s.cfg.FPMulDiv
 	mem := s.cfg.MemPorts
-	for i := 0; i < s.count && left > 0; i++ {
-		e := &s.rob[(s.head+i)%len(s.rob)]
+
+	// As in the alpha model: if the whole scan issues nothing, queue
+	// state is frozen until a collected wake time, a dispatch, or a
+	// commit, and the stage sleeps. Structural skips with no knowable
+	// wake time pin the scan awake.
+	issuedAny := false
+	noSkip := false
+	idleUntil := uint64(noWake)
+	deferUntil := func(t uint64) {
+		if t < idleUntil {
+			idleUntil = t
+		}
+	}
+
+	ix := s.idx(start)
+	for i := start; i < end && left > 0; i++ {
+		e := &s.rob[ix]
+		if ix++; ix == len(s.rob) {
+			ix = 0
+		}
 		if !e.mapped || e.issued {
 			continue
 		}
 		if s.cycle <= e.mapAt {
+			deferUntil(e.mapAt + 1)
 			continue
 		}
 		ready, ok := s.srcsReadyAt(e)
 		if !ok || ready > s.cycle {
+			if ok {
+				deferUntil(ready) // unissued producers gate via their own entries
+			}
 			continue
 		}
 		lat := latency(e.cls)
 		switch {
 		case e.cls.IsMem():
 			if mem == 0 {
+				noSkip = true
 				continue
 			}
 			mem--
@@ -611,20 +716,24 @@ func (s *sim) issue() {
 			}
 		case e.cls == isa.ClassIntMul:
 			if intMul == 0 {
+				noSkip = true
 				continue
 			}
 			intMul--
 		case e.cls == isa.ClassFPAdd:
 			if fpALU == 0 {
+				noSkip = true
 				continue
 			}
 			fpALU--
 		case e.cls == isa.ClassFPMul, e.cls == isa.ClassFPDivS, e.cls == isa.ClassFPDivT,
 			e.cls == isa.ClassFPSqrtS, e.cls == isa.ClassFPSqrtT:
 			if fpMD == 0 {
+				noSkip = true
 				continue
 			}
 			if e.cls != isa.ClassFPMul && s.cycle < s.fpDivBusyUntil {
+				deferUntil(s.fpDivBusyUntil)
 				continue
 			}
 			if e.cls != isa.ClassFPMul {
@@ -633,29 +742,34 @@ func (s *sim) issue() {
 			fpMD--
 		default:
 			if intALU == 0 {
+				noSkip = true
 				continue
 			}
 			intALU--
 		}
 		left--
+		issuedAny = true
 		e.issued = true
+		s.outstanding++
 		e.readyAt = s.cycle + uint64(lat)
 		e.doneAt = e.readyAt
 		s.readyByInum[e.inum%uint64(len(s.readyByInum))] = e.readyAt
+		s.schedule(e.doneAt)
+	}
+	if !issuedAny && !noSkip {
+		s.issueIdleUntil = idleUntil
 	}
 }
 
 func (s *sim) dispatch() {
 	for n := 0; n < s.cfg.DecodeWidth; n++ {
-		var e *entry
-		for i := 0; i < s.count; i++ {
-			c := &s.rob[(s.head+i)%len(s.rob)]
-			if !c.mapped {
-				e = c
-				break
-			}
+		// Entries dispatch strictly in program order, so the oldest
+		// unmapped one is always at mapInum — no scan.
+		if s.mapInum >= s.headInum+uint64(s.count) {
+			break
 		}
-		if e == nil || s.cycle < e.availAt {
+		e := s.at(s.mapInum)
+		if s.cycle < e.availAt {
 			break
 		}
 		if e.isMem && s.lsqCount >= s.cfg.LSQSize {
@@ -671,6 +785,8 @@ func (s *sim) dispatch() {
 		}
 		e.mapped = true
 		e.mapAt = s.cycle
+		s.mapInum++
+		s.issueIdleUntil = 0 // new window entry: the issue scan must look again
 		if e.isMem {
 			s.lsqCount++
 		}
@@ -693,14 +809,28 @@ func (s *sim) dispatch() {
 }
 
 func (s *sim) fill() {
-	for !s.srcDone && len(s.pending) < 2*s.cfg.FetchWidth {
+	for !s.srcDone && s.pendLen < len(s.pend) {
 		rec, ok := s.src.Next()
 		if !ok {
 			s.srcDone = true
 			return
 		}
-		s.pending = append(s.pending, rec)
+		i := s.pendHead + s.pendLen
+		if i >= len(s.pend) {
+			i -= len(s.pend)
+		}
+		s.pend[i] = rec
+		s.pendLen++
 	}
+}
+
+// pendAt returns the i-th lookahead record (0 = oldest).
+func (s *sim) pendAt(i int) *cpu.Record {
+	i += s.pendHead
+	if i >= len(s.pend) {
+		i -= len(s.pend)
+	}
+	return &s.pend[i]
 }
 
 func (s *sim) fetch() {
@@ -708,28 +838,28 @@ func (s *sim) fetch() {
 		return
 	}
 	s.fill()
-	if len(s.pending) == 0 {
+	if s.pendLen == 0 {
 		return
 	}
 	if s.count+s.cfg.FetchWidth > len(s.rob) {
 		return
 	}
 	// Fetch up to width, ending at the first taken branch (one fetch
-	// redirect per cycle through the BTB).
+	// redirect per cycle through the BTB). The packet is carved out of
+	// the lookahead ring in place.
 	n := 1
-	for n < s.cfg.FetchWidth && n < len(s.pending) {
-		prev := s.pending[n-1]
+	for n < s.cfg.FetchWidth && n < s.pendLen {
+		prev := s.pendAt(n - 1)
 		if prev.IsBranch() && prev.Taken {
 			break
 		}
-		if s.pending[n].PC != prev.PC+isa.WordBytes {
+		if s.pendAt(n).PC != prev.PC+isa.WordBytes {
 			break
 		}
 		n++
 	}
-	packet := s.pending[:n]
 
-	ires, _, _ := s.hier.Inst(packet[0].PC, s.cycle)
+	ires, _, _ := s.hier.Inst(s.pendAt(0).PC, s.cycle)
 	deliverAt := s.cycle + 1
 	nextFetchAt := s.cycle + 1
 	fetchWhy := events.CompFrontend
@@ -741,9 +871,9 @@ func (s *sim) fetch() {
 	}
 
 	var bubble uint64
-	var mispredict *cpu.Record
-	for i := range packet {
-		rec := &packet[i]
+	mispredictIdx := -1
+	for i := 0; i < n; i++ {
+		rec := s.pendAt(i)
 		op := rec.Inst.Op
 		cls := op.Class()
 		if !cls.IsBranch() {
@@ -754,7 +884,7 @@ func (s *sim) fetch() {
 			pred, idx := s.predictDir(rec.PC)
 			s.trainDir(idx, rec.Taken)
 			if pred != rec.Taken {
-				mispredict = rec
+				mispredictIdx = i
 			} else if rec.Taken {
 				// Correct direction: target must come from the BTB.
 				if tgt, ok := s.btb.lookup(rec.PC); !ok || tgt != rec.NextPC {
@@ -791,22 +921,22 @@ func (s *sim) fetch() {
 			}
 			s.btb.insert(rec.PC, rec.NextPC)
 			if !predicted {
-				mispredict = rec
+				mispredictIdx = i
 			}
 		}
-		if mispredict != nil {
+		if mispredictIdx >= 0 {
 			break
 		}
 	}
 
 	allocated := 0
-	for i := range packet {
-		rec := packet[i]
+	for i := 0; i < n; i++ {
+		rec := s.pendAt(i)
 		e := s.alloc(rec)
 		e.availAt = deliverAt
 		e.fetchMiss = !ires.L1Hit
 		allocated++
-		if mispredict != nil && rec.PC == mispredict.PC {
+		if i == mispredictIdx {
 			// Fetch stops at the mispredicted branch; the rest of the
 			// packet stays pending and refetches after recovery.
 			e.mispredicted = true
@@ -815,7 +945,11 @@ func (s *sim) fetch() {
 			break
 		}
 	}
-	s.pending = s.pending[allocated:]
+	s.pendHead += allocated
+	if s.pendHead >= len(s.pend) {
+		s.pendHead -= len(s.pend)
+	}
+	s.pendLen -= allocated
 	nextFetchAt += bubble
 	if bubble > 0 && fetchWhy == events.CompFrontend {
 		// BTB-miss redirect bubbles are control recovery.
@@ -824,14 +958,15 @@ func (s *sim) fetch() {
 	s.blockFetch(nextFetchAt, fetchWhy)
 }
 
-func (s *sim) alloc(rec cpu.Record) *entry {
-	idx := (s.head + s.count) % len(s.rob)
+func (s *sim) alloc(rec *cpu.Record) *entry {
+	idx := s.idx(s.count)
 	s.count++
 	e := &s.rob[idx]
-	*e = entry{rec: rec, inum: s.nextInum, cls: rec.Inst.Op.Class()}
+	*e = entry{rec: *rec, inum: s.nextInum, cls: rec.Inst.Op.Class()}
 	s.nextInum++
 	e.isMem = e.cls.IsMem()
-	for _, src := range rec.Inst.Sources() {
+	var srcs [3]isa.RegRef
+	for _, src := range srcs[:rec.Inst.SourcesInto(&srcs)] {
 		file := 0
 		if src.FP {
 			file = 1

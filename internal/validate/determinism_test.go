@@ -3,6 +3,11 @@ package validate
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/alpha"
+	"repro/internal/inorder"
+	"repro/internal/ruu"
+	"repro/internal/simcache"
 )
 
 // TestParallelMergeDeterminism is the engine's core guarantee: the
@@ -57,6 +62,94 @@ func TestSampledDeterminism(t *testing.T) {
 	}
 	if w.String() != again.String() {
 		t.Errorf("Sampled output differs between repeated runs")
+	}
+}
+
+// TestCrossModelParallelDeterminism extends the merge-determinism
+// guarantee across every timing model and every optimized hot path:
+// Table3 runs the native reference, sim-initial, sim-alpha and
+// sim-outorder on the macro suite; Table4 runs the ten
+// feature-ablation variants (each toggling a different fast path in
+// the 21264 core); Table1 leans on the issue-scan and latency paths.
+// Each must render byte-identically on one worker and on eight. This
+// is the regression net for event-driven scan gating and the other
+// performance shortcuts: any of them leaking state across runs or
+// depending on scheduling shows up here as a table diff.
+func TestCrossModelParallelDeterminism(t *testing.T) {
+	serial := quick
+	serial.Parallelism = 1
+	wide := quick
+	wide.Parallelism = 8
+
+	t.Run("Table1", func(t *testing.T) {
+		t.Parallel()
+		s, err := Table1(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Table1(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != w.String() {
+			t.Errorf("Table1 output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+				s.String(), w.String())
+		}
+	})
+	t.Run("Table3", func(t *testing.T) {
+		t.Parallel()
+		s, err := Table3(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Table3(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != w.String() {
+			t.Errorf("Table3 output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+				s.String(), w.String())
+		}
+	})
+	t.Run("Table4", func(t *testing.T) {
+		t.Parallel()
+		s, err := Table4(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Table4(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != w.String() {
+			t.Errorf("Table4 output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+				s.String(), w.String())
+		}
+	})
+}
+
+// TestModelFingerprintsUnchanged pins the simcache fingerprints of the
+// four timing-model configurations. The performance pass must be
+// invisible here: fingerprints hash only exported configuration, so a
+// hot-loop change that alters one means cached simulation results
+// would no longer be reused against semantically identical configs (or
+// worse, that tuning leaked into the architecture being modeled).
+// If a deliberate configuration change lands, re-bless the digests.
+func TestModelFingerprintsUnchanged(t *testing.T) {
+	digests := map[string]struct {
+		cfg  any
+		want string
+	}{
+		"sim-alpha":    {alpha.DefaultConfig(), "8690265aa54c5e09301c5285fdb22b82a36e3d027ec262a52eb313fc4a77751f"},
+		"sim-initial":  {alpha.SimInitial(), "6c89a268d4e7740d11ec8663db3712ca0636c77bb2c6a6fb753ebfcc37b27d21"},
+		"sim-outorder": {ruu.DefaultConfig(), "59ac47bb634bc23c86fb606647c24aa26ea09d02f810f632edc5de752ef07a42"},
+		"sim-inorder":  {inorder.DefaultConfig(), "29694f7d2b0720bce6024d8308fa124171b0695913af8c2a0a10180e5f84b404"},
+	}
+	for name, d := range digests {
+		got := simcache.KeyOf(simcache.Fingerprint(d.cfg)).String()
+		if got != d.want {
+			t.Errorf("%s config fingerprint changed:\n  got  %s\n  want %s", name, got, d.want)
+		}
 	}
 }
 

@@ -246,6 +246,14 @@ type TLB struct {
 	valid   []bool
 	next    int
 
+	// last caches the most recently probed page (which is always
+	// resident: it was either just hit or just inserted), so the
+	// common same-page access run skips the associative scan. A hit
+	// leaves replacement state untouched, making the shortcut
+	// invisible to timing and to the Hits/Misses accounting.
+	last   uint64
+	lastOK bool
+
 	Hits   uint64
 	Misses uint64
 }
@@ -262,9 +270,14 @@ func NewTLB(entries int) *TLB {
 // on a miss. It reports whether the probe hit.
 func (t *TLB) Lookup(vaddr uint64) bool {
 	vpage := vaddr >> PageBits
+	if t.lastOK && t.last == vpage {
+		t.Hits++
+		return true
+	}
 	for i, e := range t.entries {
 		if t.valid[i] && e == vpage {
 			t.Hits++
+			t.last, t.lastOK = vpage, true
 			return true
 		}
 	}
@@ -272,6 +285,7 @@ func (t *TLB) Lookup(vaddr uint64) bool {
 	t.entries[t.next] = vpage
 	t.valid[t.next] = true
 	t.next = (t.next + 1) % len(t.entries)
+	t.last, t.lastOK = vpage, true
 	return false
 }
 
@@ -284,6 +298,7 @@ func (t *TLB) Reset() {
 		t.valid[i] = false
 	}
 	t.next = 0
+	t.lastOK = false
 	t.Hits, t.Misses = 0, 0
 }
 
