@@ -130,9 +130,13 @@ const (
 	sampledBenchLimit = 750_000
 )
 
-// sampledBenchPlan is the gcc operating point: ten 75k-instruction
-// periods, 15k detailed each (3:1 warmup:measure), 20% detail = 5x.
-var sampledBenchPlan = SamplePlan{Period: 75_000, Warmup: 11_250, Measure: 3_750}
+// sampledBenchPlan is the gcc operating point: one hundred
+// 7.5k-instruction periods, 1.5k detailed each (half warmup, half
+// measurement), 20% detail = 5x. Many small windows beat few large
+// ones at the same budget: with functional warming now faithful to
+// timed history (prefetch, line/way training), the residual error is
+// window-selection bias, which shrinks with the number of windows.
+var sampledBenchPlan = SamplePlan{Period: 7_500, Warmup: 750, Measure: 750}
 
 func gccWorkload(b *testing.B) Workload {
 	w, ok := WorkloadByName("gcc")
@@ -164,6 +168,32 @@ func BenchmarkGccSampled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		est, err = RunSampled(m, w, sampledBenchPlan)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(est.DetailedInstructions()), "detailed_insts")
+	b.ReportMetric(est.Speedup(), "speedup")
+}
+
+// BenchmarkGccCheckpointSampled measures the checkpointed-sampling
+// path against a pre-recorded library (recording cost excluded: a
+// library is recorded once and reused across every configuration
+// sharing its compat fingerprint). The acceptance bar is a >= 10x
+// detailed+warming reduction at <= 0.2% CPI error, asserted by
+// TestCheckpointSampledOperatingPoint in invariants_test.go.
+func BenchmarkGccCheckpointSampled(b *testing.B) {
+	m := SimAlpha()
+	w := gccWorkload(b)
+	plan := CheckpointLibraryPlan(sampledBenchLimit)
+	lib, err := BuildCheckpointLibrary(m, w, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var est SampledEstimates
+	for i := 0; i < b.N; i++ {
+		est, err = RunCheckpointSampled(m, w, lib, plan, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,9 +7,15 @@
 // Commands:
 //
 //	run [-m machine] [-limit N] [-json] [-breakdown] [-sample] [-sample-period N]
-//	    [-sample-warmup N] [-sample-measure N] [-sample-intervals N] workload...
+//	    [-sample-warmup N] [-sample-measure N] [-sample-intervals N]
+//	    [-checkpoint DIR] workload...
 //	                                          simulate cells, print a result table
 //	experiment [-json] name...                print experiment tables (as cmd/validate)
+//	checkpoint save [-m machine] [-limit N] [-dir DIR] workload...
+//	                                          record a checkpoint library (local)
+//	checkpoint ls [-dir DIR]                  list stored checkpoint libraries
+//	checkpoint restore [-m machine] [-dir DIR] [-pos I] [-run N] workload
+//	                                          restore one checkpoint and run from it
 //	sweep [-m machine] [-analysis A] [-strategy S] [-limit N] [-json] [...] axis...
 //	                                          submit a design-space sweep job and
 //	                                          poll it to completion
@@ -25,6 +31,12 @@
 // reports a CPI estimate with its 95% confidence interval and the
 // detailed-instruction reduction; the -sample-* knobs override the
 // service's default schedule.
+//
+// The checkpoint subcommands and `run -checkpoint DIR` are local
+// operations (no service round trip): they record, inspect, and run
+// against checkpoint libraries in an on-disk content-addressed store
+// — the same store layout a simd/simw -store uses, so a directory can
+// be shared between probe and the daemons.
 //
 // A sweep axis is "name=Field:v1,v2,..." — a display name, a
 // dot-path into the machine's config struct, and the candidate
@@ -59,9 +71,15 @@ func usage() {
 
 commands:
   run [-m machine] [-limit N] [-json] [-breakdown] [-sample] [-sample-period N]
-      [-sample-warmup N] [-sample-measure N] [-sample-intervals N] workload...
+      [-sample-warmup N] [-sample-measure N] [-sample-intervals N]
+      [-checkpoint DIR] workload...
                                             simulate cells, print a result table
   experiment [-json] name...                print experiment tables (as cmd/validate)
+  checkpoint save [-m machine] [-limit N] [-dir DIR] workload...
+                                            record a checkpoint library (local)
+  checkpoint ls [-dir DIR]                  list stored checkpoint libraries
+  checkpoint restore [-m machine] [-dir DIR] [-pos I] [-run N] workload
+                                            restore one checkpoint and run from it
   sweep [-m machine] [-analysis A] [-strategy S] [-limit N] [-json] [...] axis...
                                             submit a sweep job (axis: name=Field:v1,v2,...)
                                             and poll it to completion
@@ -153,6 +171,8 @@ func main() {
 		err = cmdRun(c, args)
 	case "experiment":
 		err = cmdExperiment(c, args)
+	case "checkpoint":
+		err = cmdCheckpoint(args)
 	case "sweep":
 		err = cmdSweep(c, args)
 	case "machines":
@@ -184,9 +204,13 @@ func cmdRun(c *client, args []string) error {
 	sampleWarmup := fs.Uint64("sample-warmup", 0, "detailed warmup instructions per interval")
 	sampleMeasure := fs.Uint64("sample-measure", 0, "measured instructions per interval")
 	sampleIntervals := fs.Int("sample-intervals", 0, "stop after N measured intervals")
+	ckptDir := fs.String("checkpoint", "", "run locally against a checkpoint-library store directory")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("run: at least one workload is required")
+	}
+	if *ckptDir != "" {
+		return runCheckpointSampled(*machine, *ckptDir, *limit, *asJSON, fs.Args())
 	}
 
 	if !*asJSON {

@@ -7,6 +7,15 @@
 //
 //	simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]
 //	     [-sweep-points N] [-sweep-jobs N] [-sweep-history N]
+//	     [-workers host:port,host:port] [-steal-after D] [-store DIR]
+//
+// With -workers, simd is a coordinator: it shards simulation cells
+// (run, sweep, and sampled requests) over the listed workers — each a
+// simw or another simd — by content hash, steals stragglers, retries
+// on worker loss, and falls back to local execution when the tier is
+// gone. With -store, results and checkpoints persist in an on-disk
+// content-addressed store under DIR, a second cache tier shared
+// across restarts (and across processes pointed at the same DIR).
 //
 // Routes (see internal/service):
 //
@@ -31,9 +40,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/diskstore"
 	"repro/internal/service"
 )
 
@@ -46,10 +57,14 @@ func main() {
 	sweepPoints := flag.Int("sweep-points", 0, "max design-space points per sweep job (0 = 256)")
 	sweepJobs := flag.Int("sweep-jobs", 0, "concurrently running sweep jobs (0 = 2)")
 	sweepHistory := flag.Int("sweep-history", 0, "finished sweep jobs kept pollable (0 = 64)")
+	workers := flag.String("workers", "", "comma-separated worker addresses to dispatch cells to")
+	stealAfter := flag.Duration("steal-after", 0, "straggler timeout before a cell is stolen to another worker (0 = 15s)")
+	store := flag.String("store", "", "on-disk result/checkpoint store directory (empty = memory only)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]\n"+
-				"            [-sweep-points N] [-sweep-jobs N] [-sweep-history N]\n")
+				"            [-sweep-points N] [-sweep-jobs N] [-sweep-history N]\n"+
+				"            [-workers host:port,host:port] [-steal-after D] [-store DIR]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,7 +76,7 @@ func main() {
 	log.SetPrefix("simd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	s := service.New(service.Config{
+	cfg := service.Config{
 		CacheEntries:   *cache,
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *timeout,
@@ -69,7 +84,25 @@ func main() {
 		MaxSweepPoints: *sweepPoints,
 		MaxSweepJobs:   *sweepJobs,
 		SweepHistory:   *sweepHistory,
-	})
+		StealAfter:     *stealAfter,
+	}
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				cfg.Workers = append(cfg.Workers, w)
+			}
+		}
+		log.Printf("dispatching cells to %d workers", len(cfg.Workers))
+	}
+	if *store != "" {
+		ds, err := diskstore.Open(*store)
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		cfg.Tier2 = ds
+		log.Printf("result store at %s", ds.Dir())
+	}
+	s := service.New(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

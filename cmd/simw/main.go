@@ -1,0 +1,110 @@
+// Command simw is the distributed tier's worker: a stripped-down
+// simulation daemon that serves POST /v1/cell (one content-addressed
+// simulation cell per request) plus /healthz and /metrics, for a
+// coordinator simd started with -workers to dispatch to.
+//
+// Usage:
+//
+//	simw [-addr :8090] [-cache N] [-max-concurrent N] [-timeout D] [-store DIR]
+//
+// A worker is a full service.Server under the hood — cells it
+// computes land in the same content-addressed cache the coordinator
+// uses, so repeated shards are lookups — but it deliberately exposes
+// only the worker-facing routes: a worker owns cells, not jobs.
+// Point -store at a directory (shareable with the coordinator's) to
+// persist results across worker restarts; a restarted worker then
+// answers its re-dispatched shard from disk instead of re-simulating.
+//
+// SIGINT/SIGTERM drain in-flight cells and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/diskstore"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	cache := flag.Int("cache", 4096, "result-cache capacity in entries")
+	maxConc := flag.Int("max-concurrent", 0, "simultaneous simulations (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-cell deadline")
+	store := flag.String("store", "", "on-disk result store directory (empty = memory only)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: simw [-addr :8090] [-cache N] [-max-concurrent N] [-timeout D] [-store DIR]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.SetPrefix("simw: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	cfg := service.Config{
+		CacheEntries:   *cache,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+	}
+	if *store != "" {
+		ds, err := diskstore.Open(*store)
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		cfg.Tier2 = ds
+		log.Printf("result store at %s", ds.Dir())
+	}
+	s := service.New(cfg)
+
+	mux := http.NewServeMux()
+	full := s.Handler()
+	for _, route := range []string{"POST /v1/cell", "GET /healthz", "GET /metrics"} {
+		mux.Handle(route, full)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("worker serving on %s (cache %d entries, timeout %s)", *addr, *cache, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

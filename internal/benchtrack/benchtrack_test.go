@@ -158,7 +158,9 @@ func TestCompareBands(t *testing.T) {
 
 func TestCompareMissingAndNewBenchmarks(t *testing.T) {
 	base := mkTraj("BenchmarkOld", map[string]float64{"ns/op": 100})
-	cand := mkTraj("BenchmarkNew", map[string]float64{"ns/op": 100})
+	// Disjoint unit sets: a genuine disappearance plus an unrelated
+	// addition, not a rename.
+	cand := mkTraj("BenchmarkNew", map[string]float64{"allocs/op": 7})
 	rep := Compare(base, cand, nil)
 	if rep.OK() {
 		t.Fatal("missing baseline benchmark did not fail")
@@ -169,11 +171,58 @@ func TestCompareMissingAndNewBenchmarks(t *testing.T) {
 	if len(rep.New) != 1 || rep.New[0] != "BenchmarkNew" {
 		t.Errorf("New = %v", rep.New)
 	}
+	if len(rep.Renamed) != 0 {
+		t.Errorf("Renamed = %v, want none (unit sets differ)", rep.Renamed)
+	}
 	// A new benchmark alone never fails.
 	both := mkTraj("BenchmarkOld", map[string]float64{"ns/op": 100})
 	both.Benchmarks["BenchmarkNew"] = cand.Benchmarks["BenchmarkNew"]
 	if rep := Compare(base, both, nil); !rep.OK() {
 		t.Errorf("new benchmark caused failure:\n%s", rep)
+	}
+}
+
+// TestCompareRenamePairing: a missing baseline benchmark whose
+// metric-unit set matches a new candidate benchmark collapses into
+// one rename violation; the successor leaves New.
+func TestCompareRenamePairing(t *testing.T) {
+	units := map[string]float64{"ns/op": 100, "allocs/op": 5}
+	base := mkTraj("BenchmarkGccRun", units)
+	cand := mkTraj("BenchmarkGccRunSampled", units)
+	rep := Compare(base, cand, nil)
+	if rep.OK() {
+		t.Fatal("rename still fails until the baseline is re-recorded")
+	}
+	if len(rep.Renamed) != 1 || rep.Renamed[0] != (Rename{From: "BenchmarkGccRun", To: "BenchmarkGccRunSampled"}) {
+		t.Fatalf("Renamed = %v", rep.Renamed)
+	}
+	if len(rep.New) != 0 {
+		t.Errorf("New = %v, want empty after pairing", rep.New)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkGccRun" {
+		t.Errorf("Missing = %v", rep.Missing)
+	}
+	if len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0].Msg, "renamed to BenchmarkGccRunSampled") {
+		t.Errorf("Violations = %+v, want one rename line", rep.Violations)
+	}
+	if s := rep.String(); strings.Contains(s, "new benchmark") {
+		t.Errorf("String still prints a new-benchmark line:\n%s", s)
+	}
+}
+
+// TestCompareRenameTieBreak: with two unit-set-compatible candidates,
+// the closest name wins and the other stays in New.
+func TestCompareRenameTieBreak(t *testing.T) {
+	units := map[string]float64{"ns/op": 100}
+	base := mkTraj("BenchmarkSweepCell", units)
+	cand := mkTraj("BenchmarkSweepCellCached", units)
+	cand.Benchmarks["BenchmarkUnrelated"] = cand.Benchmarks["BenchmarkSweepCellCached"]
+	rep := Compare(base, cand, nil)
+	if len(rep.Renamed) != 1 || rep.Renamed[0].To != "BenchmarkSweepCellCached" {
+		t.Fatalf("Renamed = %v, want pairing with the closest name", rep.Renamed)
+	}
+	if len(rep.New) != 1 || rep.New[0] != "BenchmarkUnrelated" {
+		t.Errorf("New = %v, want the unpaired candidate", rep.New)
 	}
 }
 

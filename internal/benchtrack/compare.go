@@ -64,6 +64,14 @@ type Violation struct {
 	Msg   string
 }
 
+// Rename is a paired disappearance: a baseline benchmark missing
+// from the candidate whose metric-unit set exactly matches a
+// benchmark new in the candidate — almost always a rename, not a
+// deletion plus an unrelated addition.
+type Rename struct {
+	From, To string
+}
+
 // Report is the outcome of comparing a candidate against a baseline.
 type Report struct {
 	Violations []Violation
@@ -71,8 +79,15 @@ type Report struct {
 	// each is also a Violation.
 	Missing []string
 	// New lists candidate benchmarks absent from the baseline;
-	// informational only.
+	// informational only. Benchmarks consumed by a Renamed pairing are
+	// excluded.
 	New []string
+	// Renamed pairs each missing baseline benchmark with the new
+	// candidate benchmark it most plausibly became (identical
+	// metric-unit sets, closest name). The pair collapses to one
+	// violation line naming the successor, instead of a missing
+	// violation plus an unexplained new-benchmark note.
+	Renamed []Rename
 }
 
 // OK reports whether the candidate is within every band.
@@ -94,6 +109,9 @@ func (r *Report) String() string {
 	}
 	return b.String()
 }
+
+// a Rename's violation line already names the successor, so String
+// prints nothing extra for Renamed pairs.
 
 // Compare measures a candidate trajectory against a baseline using
 // per-unit bands from bandFor (nil means DefaultBand). Comparison is
@@ -136,7 +154,72 @@ func Compare(base, cand *Trajectory, bandFor func(unit string) Band) *Report {
 			rep.New = append(rep.New, name)
 		}
 	}
+	rep.pairRenames(base, cand)
 	return rep
+}
+
+// pairRenames matches Missing baseline benchmarks against New
+// candidate benchmarks. Only benchmarks with identical metric-unit
+// sets pair (a rename does not change what a benchmark measures);
+// among unit-set matches the closest name wins (longest shared
+// prefix+suffix, ties lexicographic), so the pairing is
+// deterministic. Each pair rewrites its missing violation to name the
+// successor and drops the successor from New.
+func (r *Report) pairRenames(base, cand *Trajectory) {
+	if len(r.Missing) == 0 || len(r.New) == 0 {
+		return
+	}
+	unitSet := func(b Benchmark) string {
+		return strings.Join(sortedKeys(b.Metrics), "\x00")
+	}
+	taken := make(map[string]bool, len(r.New))
+	for _, from := range r.Missing {
+		want := unitSet(base.Benchmarks[from])
+		best, bestScore := "", -1
+		for _, to := range r.New {
+			if taken[to] || unitSet(cand.Benchmarks[to]) != want {
+				continue
+			}
+			if score := nameAffinity(from, to); score > bestScore {
+				best, bestScore = to, score
+			}
+		}
+		if best == "" {
+			continue
+		}
+		taken[best] = true
+		r.Renamed = append(r.Renamed, Rename{From: from, To: best})
+		for i := range r.Violations {
+			if r.Violations[i].Benchmark == from && r.Violations[i].Unit == "" {
+				r.Violations[i].Msg = fmt.Sprintf("missing from candidate run (renamed to %s?)", best)
+				break
+			}
+		}
+	}
+	if len(r.Renamed) > 0 {
+		kept := r.New[:0]
+		for _, n := range r.New {
+			if !taken[n] {
+				kept = append(kept, n)
+			}
+		}
+		r.New = kept
+	}
+}
+
+// nameAffinity scores how alike two benchmark names are: the longest
+// shared prefix plus the longest shared suffix of the remainder —
+// cheap, deterministic, and exactly what a rename leaves intact.
+func nameAffinity(a, b string) int {
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	s := 0
+	for s < len(a)-p && s < len(b)-p && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	return p + s
 }
 
 // check applies one band. The zero band (Ratio 0) is normalized to

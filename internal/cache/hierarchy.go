@@ -332,10 +332,42 @@ func (h *Hierarchy) FlushL1I() { h.L1I.Reset() }
 // with these; going through the timed paths instead would queue
 // thousands of same-cycle accesses, dragging bank and miss-file
 // state far into the future and poisoning the next measured window.
-func (h *Hierarchy) WarmInst(vaddr uint64) {
+// It reports whether the access missed in the L1 I-cache, so callers
+// can mirror miss-triggered side effects (the hardware prefetcher) in
+// warm state.
+func (h *Hierarchy) WarmInst(vaddr uint64) bool {
 	paddr := h.translate(vaddr)
 	h.ITLB.Lookup(vaddr) // inserts on miss
 	if hit, _ := h.L1I.Probe(paddr, false); hit {
+		return false
+	}
+	if hit, _ := h.L2.Probe(paddr, false); !hit {
+		h.L2.Insert(paddr, false)
+	}
+	h.L1I.Insert(paddr, false)
+	return true
+}
+
+// InstPlacement reports the I-cache set indexed by vaddr and the way
+// currently holding its line (way 0 when the line is not resident),
+// without touching replacement state. Functional warming uses it to
+// train the way predictor as the timed front end does.
+func (h *Hierarchy) InstPlacement(vaddr uint64) (int, uint8) {
+	paddr := h.translate(vaddr)
+	_, way := h.L1I.Peek(paddr)
+	return h.L1I.Set(paddr), uint8(way)
+}
+
+// WarmPrefetchInst is PrefetchInst's state-only counterpart: the line
+// at vaddr lands in the I-side arrays exactly as a hardware prefetch
+// fill would — no TLB fill, no LRU touch when the line is already
+// resident — with none of the timing machinery. Functional warming
+// uses it to mirror the miss-triggered sequential prefetches a timed
+// run performs, keeping warmed cache contents (including prefetch
+// pollution) aligned with timed history.
+func (h *Hierarchy) WarmPrefetchInst(vaddr uint64) {
+	paddr := h.translate(vaddr)
+	if hit, _ := h.L1I.Peek(paddr); hit {
 		return
 	}
 	if hit, _ := h.L2.Probe(paddr, false); !hit {

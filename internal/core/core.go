@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/asm"
+	"repro/internal/checkpoint"
 	"repro/internal/cpu"
 	"repro/internal/events"
 )
@@ -36,6 +37,42 @@ type Workload struct {
 	// machine times only the plan's warmup+measure windows and
 	// fast-forwards functionally between them. See sample.go.
 	Sample *SamplePlan
+	// WarmFastForward, when non-zero, consumes this many dynamic
+	// instructions through the machine's functional-warming path
+	// (caches, TLBs, warmed predictors) before detailed timing
+	// begins. It is the cold half of the checkpoint determinism
+	// invariant: a run restored from a checkpoint at position N
+	// matches a cold run with WarmFastForward=N byte for byte.
+	// Mutually exclusive with Checkpoint and Sample.
+	WarmFastForward uint64
+	// Checkpoint, when non-nil, restores serialized simulator state
+	// before timing begins: the dynamic stream resumes at
+	// Checkpoint.Position with warmed caches and predictors, and
+	// MaxInstructions counts only the remainder. Mutually exclusive
+	// with WarmFastForward, NewSource, and FastForward.
+	Checkpoint *checkpoint.State
+}
+
+// CheckRestore validates the restore-related workload fields.
+func (w Workload) CheckRestore() error {
+	if w.WarmFastForward > 0 && w.Sample != nil {
+		return fmt.Errorf("core: workload %s sets both WarmFastForward and Sample", w.Name)
+	}
+	if w.Checkpoint != nil {
+		if w.WarmFastForward > 0 {
+			return fmt.Errorf("core: workload %s sets both Checkpoint and WarmFastForward", w.Name)
+		}
+		if w.NewSource != nil {
+			return fmt.Errorf("core: workload %s restores a checkpoint into a trace source", w.Name)
+		}
+		if w.FastForward > 0 {
+			return fmt.Errorf("core: workload %s sets both Checkpoint and FastForward (the checkpoint position already includes it)", w.Name)
+		}
+		if w.Prog == nil {
+			return fmt.Errorf("core: workload %s restores a checkpoint without a program", w.Name)
+		}
+	}
+	return nil
 }
 
 // Source returns a fresh dynamic instruction stream for the workload.
@@ -119,4 +156,14 @@ type Machine interface {
 	// Run executes the workload to completion (or its instruction
 	// budget) and returns timing results.
 	Run(w Workload) (RunResult, error)
+}
+
+// CheckpointRecorder is implemented by machines that can serialize
+// warmed simulator state. RecordCheckpoints makes one functional pass
+// over the workload — identical to the machine's warming path — and
+// snapshots state at each requested stream position (strictly
+// ascending, measured in dynamic instructions past FastForward).
+type CheckpointRecorder interface {
+	Machine
+	RecordCheckpoints(w Workload, positions []uint64) ([]*checkpoint.State, error)
 }

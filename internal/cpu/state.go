@@ -1,0 +1,37 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// State is the serializable architectural state of a CPU (registers
+// and control; the memory image travels separately as vm pages). A
+// CPU restored from it continues the dynamic stream exactly where the
+// snapshot was taken: the next Record carries Seq and the same
+// architectural effects a never-interrupted run would produce.
+type State struct {
+	PC     uint64
+	R      [isa.NumRegs]uint64
+	F      [isa.NumRegs]float64
+	Halted bool
+	Seq    uint64
+}
+
+// Export snapshots the CPU's architectural state.
+func (c *CPU) Export() (State, error) {
+	if c.err != nil {
+		return State{}, fmt.Errorf("cpu: cannot snapshot a faulted CPU: %w", c.err)
+	}
+	return State{PC: c.PC, R: c.R, F: c.F, Halted: c.halted, Seq: c.seq}, nil
+}
+
+// Restore builds a CPU resuming from a snapshot: the program is NOT
+// reloaded into memory (mem is the restored image, which already
+// contains every store the snapshotted run performed).
+func Restore(p *asm.Program, mem *vm.Memory, st State) *CPU {
+	return &CPU{Prog: p, Mem: mem, PC: st.PC, R: st.R, F: st.F, halted: st.Halted, seq: st.Seq}
+}

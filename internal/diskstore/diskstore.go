@@ -1,0 +1,290 @@
+// Package diskstore is the on-disk content-addressed store behind
+// the distributed tier: simulation result bytes keyed by their
+// simcache address (a second cache tier under the in-memory LRU, so
+// results survive restarts and can be shared between coordinator and
+// workers through a common directory) and checkpoint blobs stored as
+// content-addressed objects with JSON library manifests.
+//
+// Layout under the root directory:
+//
+//	objects/<hh>/<hash>            content-addressed blobs (SHA-256 hex)
+//	keys/<kk>/<key>                result bytes by simcache.Key
+//	libraries/<workload>@<c12>.json  checkpoint-library manifests
+//
+// Writes are atomic: bytes land in a temp file in the store and are
+// renamed into place, so a crashed writer never leaves a torn object
+// and concurrent writers of the same content converge on identical
+// bytes. Objects are verified against their address on read, so disk
+// corruption surfaces as an error instead of a wrong simulation
+// result.
+package diskstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/simcache"
+)
+
+// Store is a content-addressed blob store rooted at one directory.
+// All methods are safe for concurrent use, including across
+// processes sharing the directory.
+type Store struct {
+	dir string
+	// putErrs counts failed best-effort writes (the Tier2 face drops
+	// errors; this keeps them observable).
+	putErrs atomic.Uint64
+}
+
+// Open returns a store rooted at dir, creating the layout as needed.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"objects", "keys", "libraries", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("diskstore: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// PutErrors returns how many best-effort writes have failed.
+func (s *Store) PutErrors() uint64 { return s.putErrs.Load() }
+
+// writeAtomic lands blob at path via a temp file in the store's tmp
+// directory and an atomic rename. An existing file is left alone:
+// content addressing makes identical, and rewriting is wasted IO.
+func (s *Store) writeAtomic(path string, blob []byte) error {
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// objectPath fans objects over 256 subdirectories by hash prefix.
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.dir, "objects", hash[:2], hash)
+}
+
+// PutObject stores a blob under its content address and returns the
+// address (SHA-256, lowercase hex).
+func (s *Store) PutObject(blob []byte) (string, error) {
+	sum := sha256.Sum256(blob)
+	hash := hex.EncodeToString(sum[:])
+	if err := s.writeAtomic(s.objectPath(hash), blob); err != nil {
+		return "", fmt.Errorf("diskstore: object %s: %w", hash[:12], err)
+	}
+	return hash, nil
+}
+
+// GetObject returns the blob stored under the address, verifying the
+// bytes still hash to it.
+func (s *Store) GetObject(hash string) ([]byte, error) {
+	if len(hash) != 2*sha256.Size || strings.ToLower(hash) != hash {
+		return nil, fmt.Errorf("diskstore: malformed object address %q", hash)
+	}
+	blob, err := os.ReadFile(s.objectPath(hash))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: object %s: %w", hash[:12], err)
+	}
+	if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != hash {
+		return nil, fmt.Errorf("diskstore: object %s: stored bytes do not match their address (disk corruption?)", hash[:12])
+	}
+	return blob, nil
+}
+
+// keyPath fans keyed entries over 256 subdirectories by key prefix.
+func (s *Store) keyPath(k simcache.Key) string {
+	h := k.String()
+	return filepath.Join(s.dir, "keys", h[:2], h)
+}
+
+// Get implements simcache.Tier2: the bytes stored under the key, if
+// present. Read errors report absence — the tier above recomputes.
+func (s *Store) Get(k simcache.Key) ([]byte, bool) {
+	blob, err := os.ReadFile(s.keyPath(k))
+	if err != nil {
+		return nil, false
+	}
+	return blob, true
+}
+
+// Put implements simcache.Tier2: a best-effort write-through of the
+// bytes under the key. Failures are counted, not returned — a full
+// or read-only disk degrades the store to a miss, never breaks the
+// simulation path.
+func (s *Store) Put(k simcache.Key, val []byte) {
+	if err := s.writeAtomic(s.keyPath(k), val); err != nil {
+		s.putErrs.Add(1)
+	}
+}
+
+// libraryPath names a library manifest by workload and the first 12
+// hex digits of its compat fingerprint — enough to separate
+// configurations, short enough to read in a directory listing.
+func (s *Store) libraryPath(workload, compat string) string {
+	c := compat
+	if len(c) > 12 {
+		c = c[:12]
+	}
+	return filepath.Join(s.dir, "libraries", workload+"@"+c+".json")
+}
+
+// SaveLibrary stores a checkpoint library: every state encoded and
+// stored as a content-addressed object, then the manifest (positions
+// and object addresses, no state bytes) written as JSON. Returns the
+// manifest path.
+func (s *Store) SaveLibrary(lib *checkpoint.Library) (string, error) {
+	if err := lib.Check(); err != nil {
+		return "", err
+	}
+	if len(lib.States) != len(lib.Positions) {
+		return "", fmt.Errorf("diskstore: library carries %d states for %d positions", len(lib.States), len(lib.Positions))
+	}
+	hashes := make([]string, len(lib.States))
+	for i, st := range lib.States {
+		blob, err := checkpoint.Encode(st)
+		if err != nil {
+			return "", fmt.Errorf("diskstore: encoding state %d: %w", i, err)
+		}
+		h, err := s.PutObject(blob)
+		if err != nil {
+			return "", err
+		}
+		hashes[i] = h
+	}
+	lib.Hashes = hashes
+	manifest, err := json.MarshalIndent(lib, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := s.libraryPath(lib.Workload, lib.Compat)
+	if err := s.writeAtomic(path, append(manifest, '\n')); err != nil {
+		// Re-saving an identical library hits the exists short-circuit;
+		// a changed library under the same name must replace it.
+		if rmErr := os.Remove(path); rmErr == nil {
+			err = s.writeAtomic(path, append(manifest, '\n'))
+		}
+		if err != nil {
+			return "", fmt.Errorf("diskstore: manifest: %w", err)
+		}
+	}
+	return path, nil
+}
+
+// Libraries returns every stored manifest (no states loaded), sorted
+// by workload then compat.
+func (s *Store) Libraries() ([]*checkpoint.Library, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "libraries"))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	var out []*checkpoint.Library
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(s.dir, "libraries", e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: %w", err)
+		}
+		lib := new(checkpoint.Library)
+		if err := json.Unmarshal(blob, lib); err != nil {
+			return nil, fmt.Errorf("diskstore: manifest %s: %w", e.Name(), err)
+		}
+		out = append(out, lib)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Compat < out[j].Compat
+	})
+	return out, nil
+}
+
+// LoadLibrary returns the stored library for a workload with its
+// states decoded from the object store. With a non-empty machine,
+// manifests recorded by that machine are preferred; otherwise the
+// workload must have exactly one library.
+func (s *Store) LoadLibrary(workload, machine string) (*checkpoint.Library, error) {
+	libs, err := s.Libraries()
+	if err != nil {
+		return nil, err
+	}
+	var match []*checkpoint.Library
+	for _, l := range libs {
+		if l.Workload == workload {
+			match = append(match, l)
+		}
+	}
+	if machine != "" {
+		var byMachine []*checkpoint.Library
+		for _, l := range match {
+			if l.Machine == machine {
+				byMachine = append(byMachine, l)
+			}
+		}
+		if len(byMachine) > 0 {
+			match = byMachine
+		}
+	}
+	switch len(match) {
+	case 0:
+		return nil, fmt.Errorf("diskstore: no library for workload %q (record one with checkpoint save)", workload)
+	case 1:
+	default:
+		return nil, fmt.Errorf("diskstore: %d libraries for workload %q; none recorded by machine %q", len(match), workload, machine)
+	}
+	lib := match[0]
+	if len(lib.Hashes) != len(lib.Positions) {
+		return nil, fmt.Errorf("diskstore: manifest for %q has %d hashes for %d positions", workload, len(lib.Hashes), len(lib.Positions))
+	}
+	lib.States = make([]*checkpoint.State, len(lib.Hashes))
+	for i, h := range lib.Hashes {
+		blob, err := s.GetObject(h)
+		if err != nil {
+			return nil, err
+		}
+		st, err := checkpoint.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: state %d: %w", i, err)
+		}
+		if st.Position != lib.Positions[i] {
+			return nil, fmt.Errorf("diskstore: state %d records position %d, manifest says %d", i, st.Position, lib.Positions[i])
+		}
+		lib.States[i] = st
+	}
+	return lib, lib.Check()
+}

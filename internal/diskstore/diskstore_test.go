@@ -1,0 +1,224 @@
+package diskstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/alpha"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/microbench"
+	"repro/internal/sample"
+	"repro/internal/simcache"
+)
+
+func TestObjectRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("the content is the address")
+	h, err := s.PutObject(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 64 {
+		t.Fatalf("address %q is not a sha256 hex digest", h)
+	}
+	// Idempotent re-put.
+	h2, err := s.PutObject(blob)
+	if err != nil || h2 != h {
+		t.Fatalf("re-put: %q, %v; want %q", h2, err, h)
+	}
+	got, err := s.GetObject(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("got %q, want %q", got, blob)
+	}
+}
+
+func TestObjectVerification(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetObject("not-an-address"); err == nil {
+		t.Error("malformed address accepted")
+	}
+	h, err := s.PutObject([]byte("original"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.objectPath(h), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetObject(h); err == nil {
+		t.Error("corrupted object served without error")
+	}
+}
+
+func TestKeyedTier(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := simcache.KeyOf("cell", "a")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Put(k, []byte("result bytes"))
+	got, ok := s.Get(k)
+	if !ok || string(got) != "result bytes" {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+	if n := s.PutErrors(); n != 0 {
+		t.Fatalf("%d put errors on a healthy store", n)
+	}
+}
+
+// TestSimcacheTier2 wires a Store behind two independent in-memory
+// caches: what the first computes, the second must serve from disk
+// without running its compute function.
+func TestSimcacheTier2(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := simcache.KeyOf("cell", "b")
+
+	c1 := simcache.New(8)
+	c1.SetTier2(s)
+	v, cached, err := c1.GetOrCompute(k, func() ([]byte, error) { return []byte("computed"), nil })
+	if err != nil || cached || string(v) != "computed" {
+		t.Fatalf("cold compute: %q cached=%v err=%v", v, cached, err)
+	}
+
+	c2 := simcache.New(8)
+	c2.SetTier2(s)
+	v, cached, err = c2.GetOrCompute(k, func() ([]byte, error) {
+		t.Fatal("compute ran despite tier-2 hit")
+		return nil, nil
+	})
+	if err != nil || !cached || string(v) != "computed" {
+		t.Fatalf("tier-2 read: %q cached=%v err=%v", v, cached, err)
+	}
+	if st := c2.Stats(); st.Tier2Hits != 1 {
+		t.Fatalf("Tier2Hits = %d, want 1", st.Tier2Hits)
+	}
+}
+
+// TestLibraryRoundTrip records a small checkpoint library, stores it,
+// reloads it, and requires the reloaded states to produce the same
+// sampled estimate as the in-memory originals.
+func TestLibraryRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := alpha.New(alpha.DefaultConfig())
+	w, ok := microbench.ByName("C-Ca")
+	if !ok {
+		t.Fatal("no C-Ca workload")
+	}
+	w.MaxInstructions = 3000
+	plan := core.SamplePlan{Period: 1000, Warmup: 100, Measure: 50}
+	lib, err := sample.BuildLibrary(m, w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sample.RunWithLibrary(m, w, lib, plan, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path, err := s.SaveLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != filepath.Join(s.Dir(), "libraries") {
+		t.Fatalf("manifest landed at %s", path)
+	}
+	libs, err := s.Libraries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(libs) != 1 || libs[0].Workload != "C-Ca" || len(libs[0].States) != 0 {
+		t.Fatalf("manifest listing: %+v", libs)
+	}
+
+	loaded, err := s.LoadLibrary("C-Ca", m.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.States) != len(lib.States) {
+		t.Fatalf("loaded %d states, want %d", len(loaded.States), len(lib.States))
+	}
+	for i := range lib.States {
+		a, err := checkpoint.Encode(lib.States[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := checkpoint.Encode(loaded.States[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("state %d not byte-identical after disk round trip", i)
+		}
+	}
+	got, err := sample.RunWithLibrary(m, w, loaded, plan, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CPI.Mean != want.CPI.Mean {
+		t.Fatalf("reloaded library CPI %.6f, original %.6f", got.CPI.Mean, want.CPI.Mean)
+	}
+}
+
+// TestLoadLibrarySelection: a missing workload errors, two libraries
+// for one workload are ambiguous without a machine match, and a
+// machine match disambiguates.
+func TestLoadLibrarySelection(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadLibrary("nope", ""); err == nil {
+		t.Error("missing library loaded without error")
+	}
+
+	m := alpha.New(alpha.DefaultConfig())
+	w, _ := microbench.ByName("C-Ca")
+	w.MaxInstructions = 2000
+	plan := core.SamplePlan{Period: 1000, Warmup: 100, Measure: 50}
+	lib, err := sample.BuildLibrary(m, w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SaveLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	// A second manifest for the same workload under a different
+	// machine and compat.
+	other := *lib
+	other.Machine = "sim-other"
+	other.Compat = "0000000000000000-different"
+	if _, err := s.SaveLibrary(&other); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.LoadLibrary("C-Ca", "sim-unknown"); err == nil {
+		t.Error("ambiguous load succeeded")
+	}
+	got, err := s.LoadLibrary("C-Ca", "sim-other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != "sim-other" {
+		t.Fatalf("loaded library for machine %q, want sim-other", got.Machine)
+	}
+}

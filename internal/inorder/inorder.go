@@ -70,13 +70,22 @@ func (m *Machine) Name() string { return m.cfg.MachineName }
 // (in-order machines expose full latency), plus memory and
 // misprediction stalls.
 func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
-	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), dram.New(m.cfg.DRAM))
-	bimodal := make([]predict.SatCounter, 1<<m.cfg.BimodalBits)
-	for i := range bimodal {
-		bimodal[i] = predict.NewSatCounter(2, 1)
+	if err := w.CheckRestore(); err != nil {
+		return core.RunResult{}, err
 	}
+	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), dram.New(m.cfg.DRAM))
+	bimodal := newBimodal(m.cfg.BimodalBits)
 	cur := core.NewSampleCursor(w.Sample)
-	src := cur.Wrap(w.Source())
+	var src cpu.Source
+	if w.Checkpoint != nil {
+		restored, err := m.restore(w, hier, bimodal)
+		if err != nil {
+			return core.RunResult{}, err
+		}
+		src = cur.Wrap(restored)
+	} else {
+		src = cur.Wrap(w.Source())
+	}
 
 	var cycle, retired uint64
 	// col accumulates typed event counts and CPI-stack attribution
@@ -90,20 +99,20 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	})
 	// Functional warming: caches and the (history-free) bimodal
 	// predictor stay warm through sampling skips.
-	warmLine := uint64(1) << 63
-	cur.SetWarm(func(rec cpu.Record) {
-		if line := rec.PC &^ 63; line != warmLine {
-			hier.WarmInst(rec.PC)
-			warmLine = line
+	cur.SetWarm(warmer(hier, bimodal))
+	if w.WarmFastForward > 0 {
+		// Cold half of the checkpoint determinism invariant: consume
+		// the prefix through the warming path, then time the rest.
+		warm := warmer(hier, bimodal)
+		for i := uint64(0); i < w.WarmFastForward; i++ {
+			rec, ok := src.Next()
+			if !ok {
+				return core.RunResult{}, fmt.Errorf("%s/%s: stream ended at %d instructions during warm fast-forward (wanted %d)",
+					m.cfg.MachineName, w.Name, i, w.WarmFastForward)
+			}
+			warm(rec)
 		}
-		cls := rec.Inst.Op.Class()
-		switch {
-		case cls.IsMem():
-			hier.WarmData(rec.EA, cls.IsStore())
-		case rec.IsBranch():
-			train(bimodal, rec.PC, rec.Taken)
-		}
-	})
+	}
 	// regReadyAt holds the cycle each architectural register's value
 	// becomes available; in-order issue waits for sources.
 	var regReadyAt [2][isa.NumRegs]uint64

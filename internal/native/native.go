@@ -9,6 +9,7 @@ package native
 
 import (
 	"repro/internal/alpha"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dcpi"
 )
@@ -48,6 +49,17 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	out := dcpi.Measure(m.prof, res)
 	out.Machine = m.Name()
 	return out, nil
+}
+
+// Compat returns the inner 21264 model's warm-relevant configuration
+// fingerprint: native checkpoints are alpha-family states.
+func (m *Machine) Compat() string { return m.inner.Compat() }
+
+// RecordCheckpoints implements core.CheckpointRecorder by delegating
+// to the inner 21264 model: the profiler is a measurement layer, not
+// simulator state, so native checkpoints are alpha-family states.
+func (m *Machine) RecordCheckpoints(w core.Workload, positions []uint64) ([]*checkpoint.State, error) {
+	return m.inner.RecordCheckpoints(w, positions)
 }
 
 // RunExact bypasses the profiler, returning true cycle counts; used

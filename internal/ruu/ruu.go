@@ -175,9 +175,21 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // Run implements core.Machine.
 func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
-	cur := core.NewSampleCursor(w.Sample)
-	s := newSim(m.cfg, cur.Wrap(w.Source()))
-	s.cur = cur
+	if err := w.CheckRestore(); err != nil {
+		return core.RunResult{}, err
+	}
+	var s *sim
+	if w.Checkpoint != nil {
+		var err error
+		if s, err = m.restoreSim(w); err != nil {
+			return core.RunResult{}, err
+		}
+	} else {
+		cur := core.NewSampleCursor(w.Sample)
+		s = newSim(m.cfg, cur.Wrap(w.Source()))
+		s.cur = cur
+	}
+	cur := s.cur
 	cur.SetSync(func(c *events.Collector) {
 		c.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
 		c.Set(events.Prefetches, s.hier.Prefetches)
@@ -186,17 +198,20 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	// (per-line on the I-side, as fetch does). The gshare predictor is
 	// left to the warmup window — its index couples to the speculative
 	// global history, which a non-pipelined update would desynchronize.
-	warmLine := uint64(1) << 63
-	cur.SetWarm(func(rec cpu.Record) {
-		if line := rec.PC &^ 63; line != warmLine {
-			s.hier.WarmInst(rec.PC)
-			warmLine = line
+	cur.SetWarm(warmer(s.hier))
+	if w.WarmFastForward > 0 {
+		// Cold half of the checkpoint determinism invariant: consume
+		// the prefix through the warming path, then time the rest.
+		warm := warmer(s.hier)
+		for i := uint64(0); i < w.WarmFastForward; i++ {
+			rec, ok := s.src.Next()
+			if !ok {
+				return core.RunResult{}, fmt.Errorf("%s/%s: stream ended at %d instructions during warm fast-forward (wanted %d)",
+					m.cfg.MachineName, w.Name, i, w.WarmFastForward)
+			}
+			warm(rec)
 		}
-		cls := rec.Inst.Op.Class()
-		if cls.IsMem() {
-			s.hier.WarmData(rec.EA, cls.IsStore())
-		}
-	})
+	}
 	if err := s.run(); err != nil {
 		return core.RunResult{}, fmt.Errorf("%s/%s: %w", m.cfg.MachineName, w.Name, err)
 	}

@@ -1,0 +1,218 @@
+// Checkpointed sampling: the library mode.
+//
+// Continuous interval sampling (Run) fast-forwards functionally
+// between measured windows, so every sampled run still consumes the
+// whole dynamic stream. Library mode removes that cost: a checkpoint
+// library holds serialized warm state at every interval boundary, and
+// a sampled run restores each checkpoint and simulates only its
+// warmup+measure window in detail. The stream between windows is
+// never touched — its effect is already inside the checkpoints — so
+// the per-run cost drops from O(stream) to O(intervals × window), and
+// the intervals run in parallel because each is an independent
+// restore. The library is recorded once per (workload, warm-relevant
+// configuration) and reused across every machine variant that shares
+// the fingerprint — the SMARTS live-points economics.
+package sample
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/runner"
+)
+
+// LibraryPlanFor returns the canonical checkpointed-sampling schedule
+// for an instruction budget: one hundred intervals, a warmup twice
+// the measured window (restored state is already warm — warmup only
+// re-fills the pipeline, miss files, and DRAM timing state), and a
+// 10x detailed+warming-instruction reduction. Many small windows beat
+// few large ones at the same budget because selection error — the
+// startup transient and phase behavior between windows — dominates
+// once restored-state warming is exact. A zero limit gets a fixed
+// absolute plan of the same shape.
+func LibraryPlanFor(limit uint64) core.SamplePlan {
+	if limit == 0 {
+		return core.SamplePlan{Period: 7_500, Warmup: 500, Measure: 250}
+	}
+	p := limit / 100
+	if p < 300 {
+		p = 300
+	}
+	m := p / 30
+	if m < 10 {
+		m = 10
+	}
+	return core.SamplePlan{Period: p, Warmup: 2 * m, Measure: m}
+}
+
+// LibraryPositions returns the interval-boundary stream positions a
+// library needs for the plan over a stream of the given length: one
+// checkpoint per interval whose detailed window fits inside the
+// limit.
+func LibraryPositions(plan core.SamplePlan, limit uint64) []uint64 {
+	if limit == 0 {
+		return nil
+	}
+	var out []uint64
+	for k := uint64(0); ; k++ {
+		pos := k * plan.Period
+		if pos+plan.Detailed() > limit {
+			break
+		}
+		if plan.MaxIntervals > 0 && k >= uint64(plan.MaxIntervals) {
+			break
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+// BuildLibrary records a checkpoint library for the workload under
+// the plan: one functional-warming pass over the stream with a
+// snapshot at each interval boundary. The machine must implement
+// core.CheckpointRecorder. The workload's MaxInstructions (or limit,
+// if the workload's is zero) bounds the covered stream.
+func BuildLibrary(m core.Machine, w core.Workload, plan core.SamplePlan) (*checkpoint.Library, error) {
+	if err := plan.Check(); err != nil {
+		return nil, err
+	}
+	rec, ok := m.(core.CheckpointRecorder)
+	if !ok {
+		return nil, fmt.Errorf("sample: machine %s cannot record checkpoints", m.Name())
+	}
+	if w.MaxInstructions == 0 {
+		return nil, fmt.Errorf("sample: checkpoint libraries need a bounded workload (set MaxInstructions)")
+	}
+	positions := LibraryPositions(plan, w.MaxInstructions)
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("sample: no interval fits in %d instructions under %s", w.MaxInstructions, plan)
+	}
+	// The recorder sees the unbounded workload: positions are stream
+	// positions, and the budget applies to the restored runs instead.
+	rw := w
+	rw.MaxInstructions = 0
+	rw.Sample = nil
+	states, err := rec.RecordCheckpoints(rw, positions)
+	if err != nil {
+		return nil, err
+	}
+	lib := &checkpoint.Library{
+		Machine:   m.Name(),
+		Workload:  w.Name,
+		Compat:    states[0].Compat,
+		Period:    plan.Period,
+		Limit:     w.MaxInstructions,
+		Positions: positions,
+		States:    states,
+	}
+	return lib, lib.Check()
+}
+
+// RunWithLibrary runs a checkpointed sampled simulation: each library
+// interval restores its checkpoint and simulates Warmup+Measure
+// instructions in detail, independently and in parallel, and the
+// per-interval observations aggregate exactly as a continuous sampled
+// run's do. Parallelism follows runner.Workers semantics (0 = one
+// worker per core). The plan's Warmup/Measure must fit within the
+// library's recorded period.
+func RunWithLibrary(m core.Machine, w core.Workload, lib *checkpoint.Library, plan core.SamplePlan, parallelism int, level float64) (Result, error) {
+	if err := plan.Check(); err != nil {
+		return Result{}, err
+	}
+	if err := lib.Check(); err != nil {
+		return Result{}, err
+	}
+	if len(lib.States) == 0 {
+		return Result{}, fmt.Errorf("sample: library carries no states (manifest without objects?)")
+	}
+	if lib.Workload != w.Name {
+		return Result{}, fmt.Errorf("sample: library records workload %q, running %q", lib.Workload, w.Name)
+	}
+	if plan.Period != lib.Period {
+		return Result{}, fmt.Errorf("sample: plan period %d does not match library period %d", plan.Period, lib.Period)
+	}
+	limit := w.MaxInstructions
+	if limit == 0 {
+		limit = lib.Limit
+	}
+	if limit > lib.Limit {
+		return Result{}, fmt.Errorf("sample: workload budget %d exceeds library coverage %d", limit, lib.Limit)
+	}
+	// Intervals whose detailed window fits inside the budget.
+	n := 0
+	for n < len(lib.Positions) && lib.Positions[n]+plan.Detailed() <= limit {
+		n++
+	}
+	if plan.MaxIntervals > 0 && n > plan.MaxIntervals {
+		n = plan.MaxIntervals
+	}
+	if n == 0 {
+		return Result{}, fmt.Errorf("sample: no interval fits in %d instructions under %s", limit, plan)
+	}
+
+	window := core.SamplePlan{
+		Period:       plan.Detailed(),
+		Warmup:       plan.Warmup,
+		Measure:      plan.Measure,
+		MaxIntervals: 1,
+	}
+	type interval struct {
+		res core.RunResult
+	}
+	runs, err := runner.Map(parallelism, lib.States[:n], func(i int, st *checkpoint.State) (interval, error) {
+		iw := w
+		iw.Checkpoint = st
+		iw.MaxInstructions = plan.Detailed()
+		iw.FastForward = 0
+		iw.Sample = &window
+		res, err := m.Run(iw)
+		if err != nil {
+			return interval{}, fmt.Errorf("interval %d (position %d): %w", i, st.Position, err)
+		}
+		if res.Sampled == nil || len(res.Sampled.Samples) != 1 {
+			return interval{}, fmt.Errorf("interval %d (position %d): expected exactly one measured window", i, st.Position)
+		}
+		return interval{res: res}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Aggregate the windows exactly as a continuous run's cursor does.
+	agg := core.RunResult{
+		Machine:  runs[0].res.Machine,
+		Workload: w.Name,
+		Counters: map[string]uint64{},
+	}
+	var stack events.Stack
+	samples := make([]core.IntervalSample, 0, n)
+	var detailed uint64
+	for i, r := range runs {
+		s := r.res.Sampled.Samples[0]
+		// The restored run's sample is interval-local; rebase its start
+		// onto the stream position the checkpoint resumed at.
+		s.Start = lib.Positions[i] + plan.Warmup
+		samples = append(samples, s)
+		agg.Instructions += r.res.Instructions
+		agg.Cycles += r.res.Cycles
+		for k, v := range r.res.Counters {
+			agg.Counters[k] += v
+		}
+		if r.res.Breakdown != nil {
+			for c := range stack {
+				stack[c] += r.res.Breakdown[c]
+			}
+		}
+		detailed += r.res.Sampled.DetailedInstructions
+	}
+	agg.Breakdown = &stack
+	agg.Sampled = &core.SampledRun{
+		Plan:                 plan,
+		StreamInstructions:   limit,
+		DetailedInstructions: detailed,
+		Samples:              samples,
+	}
+	return FromResult(agg, level)
+}

@@ -165,6 +165,19 @@ type Config struct {
 	MaxSweepJobs int
 	// SweepHistory bounds how many finished jobs stay pollable (0 = 64).
 	SweepHistory int
+	// Workers lists worker base URLs ("host:port" or "http://host:port")
+	// this server dispatches simulation cells to (see dispatch.go).
+	// Empty means every cell runs locally.
+	Workers []string
+	// StealAfter is how long a dispatched cell may run on its home
+	// worker before it is speculatively launched on another (0 = 15s);
+	// the first result wins. Duplicate executions are harmless: cells
+	// are deterministic and content-addressed.
+	StealAfter time.Duration
+	// Tier2 is an optional second cache tier behind the in-memory
+	// result cache — typically a diskstore.Store, so results survive
+	// restarts and can be shared between coordinator and workers.
+	Tier2 simcache.Tier2
 }
 
 // Server implements the simulation service. Create with New, mount
@@ -178,6 +191,7 @@ type Server struct {
 	wlOrder   []string
 	byWork    map[string]workloadSpec
 	sem       chan struct{}
+	dispatch  *dispatcher // nil unless Config.Workers is non-empty
 	latency   *metrics.Histogram
 	// sampleIntervals distributes measured-interval counts of
 	// cold sampled runs.
@@ -230,6 +244,12 @@ func New(cfg Config) *Server {
 		sweeps:    make(map[string]*sweepJob),
 		sweepSem:  make(chan struct{}, cfg.MaxSweepJobs),
 	}
+	if cfg.Tier2 != nil {
+		s.cache.SetTier2(cfg.Tier2)
+	}
+	if len(cfg.Workers) > 0 {
+		s.dispatch = newDispatcher(cfg.Workers, cfg.StealAfter, s.metrics)
+	}
 	s.latency = s.metrics.Histogram("request_seconds", metrics.DefLatencyBuckets)
 	s.sampleIntervals = s.metrics.Histogram("sample_intervals",
 		[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})
@@ -250,6 +270,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workloads", s.timed("workloads", s.handleWorkloads))
 	mux.HandleFunc("GET /v1/run", s.timed("run", s.handleRun))
 	mux.HandleFunc("POST /v1/run", s.timed("run", s.handleRun))
+	mux.HandleFunc("POST /v1/cell", s.timed("cell", s.handleCell))
 	mux.HandleFunc("GET /v1/experiment/{name}", s.timed("experiment", s.handleExperiment))
 	mux.HandleFunc("POST /v1/sweep", s.timed("sweep", s.handleSweepSubmit))
 	mux.HandleFunc("GET /v1/sweep", s.timed("sweep", s.handleSweepList))
@@ -313,6 +334,10 @@ func (s *Server) metricsHandler() http.Handler {
 		e := s.metrics.Counter("cache_evictions_total")
 		if d := st.Evictions - e.Value(); d > 0 {
 			e.Add(d)
+		}
+		t2 := s.metrics.Counter("cache_tier2_hits_total")
+		if d := st.Tier2Hits - t2.Value(); d > 0 {
+			t2.Add(d)
 		}
 		inner.ServeHTTP(w, r)
 	})
@@ -531,12 +556,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, key, func() ([]byte, error) {
 		s.acquire()
 		defer s.release()
-		s.metrics.Counter("cells_simulated_total").Inc()
-		res, err := spec.New().Run(work)
+		res, err := s.runCell(spec, work)
 		if err != nil {
 			return nil, err
 		}
-		s.recordSimEvents(res)
 		resp := RunResponse{
 			Machine:      res.Machine,
 			Workload:     res.Workload,

@@ -397,6 +397,7 @@ func (s *Server) evictSweepHistoryLocked() {
 			if terminal {
 				delete(s.sweeps, id)
 				s.sweepOrder = append(s.sweepOrder[:i], s.sweepOrder[i+1:]...)
+				s.metrics.Counter("sweep_jobs_evicted_total").Inc()
 				evicted = true
 				break
 			}
@@ -427,6 +428,25 @@ func (s *Server) runSweepJob(ctx context.Context, job *sweepJob, plan sweepPlan)
 		Limit:       plan.req.Limit,
 		Parallelism: s.cfg.Parallelism,
 		Cache:       s.cache,
+	}
+	if s.dispatch != nil {
+		// Shard the sweep's cells over the worker tier: each cell
+		// crosses the wire as its machine name plus single-value axes,
+		// and the worker rebuilds the identical config. A dispatch
+		// failure falls back to local execution inside the engine.
+		eng.Remote = func(ctx context.Context, sp *sweep.Space, p sweep.Point, w core.Workload) ([]byte, error) {
+			axes := make([]sweepAxis, len(sp.Axes))
+			for i, a := range sp.Axes {
+				axes[i] = sweepAxis{Name: a.Name, Field: a.Field, Values: []any{a.Values[p[i]]}}
+			}
+			return s.dispatch.run(ctx, cellRequest{
+				Machine:  plan.req.Machine,
+				Workload: w.Name,
+				Limit:    w.MaxInstructions,
+				Sample:   w.Sample,
+				Axes:     axes,
+			})
+		}
 	}
 
 	var ref []core.RunResult

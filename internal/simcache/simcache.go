@@ -16,16 +16,32 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"reflect"
-	"sort"
-	"strconv"
-	"strings"
+	"repro/internal/fingerprint"
 	"sync"
 )
+
+// Fingerprint renders an arbitrary configuration value into a
+// canonical, deterministic string for use as a KeyOf part. It is
+// fingerprint.Of: see that package for the exact rendering contract
+// (declaration-order exported struct fields, dereferenced pointers,
+// opaque function values, sorted map entries, shortest-round-trip
+// floats).
+func Fingerprint(v any) string { return fingerprint.Of(v) }
 
 // DefaultCapacity is the entry bound used when New is given a
 // non-positive capacity.
 const DefaultCapacity = 1024
+
+// Tier2 is an optional second cache tier behind the in-memory LRU —
+// typically an on-disk store (internal/diskstore) shared across
+// restarts or between processes. A memory miss consults the tier
+// before computing, and every successful computation writes through.
+// Implementations must be safe for concurrent use; Put is
+// best-effort and must not fail the caller.
+type Tier2 interface {
+	Get(Key) ([]byte, bool)
+	Put(Key, []byte)
+}
 
 // Key is the content address of one cached result: a SHA-256 over
 // the canonical rendering of the inputs that determine it.
@@ -50,121 +66,11 @@ func KeyOf(parts ...string) Key {
 	return k
 }
 
-// Fingerprint renders an arbitrary configuration value into a
-// canonical, deterministic string for use as a KeyOf part. The
-// rendering is defined by what it observes and — just as load-bearing
-// for cache correctness — what it deliberately skips:
-//
-//   - Struct fields are rendered in declaration order. Unexported
-//     fields are SKIPPED entirely: they are private state, not
-//     observable configuration, so two values differing only in
-//     unexported fields fingerprint identically. Never carry
-//     semantics a cache key must distinguish in an unexported field.
-//   - Pointers and interfaces are dereferenced; only the pointee's
-//     content is rendered, never its address, so two pointers to
-//     equal values alias (that is the point: content addressing).
-//     Nil renders as "<nil>".
-//   - Function, channel, and unsafe-pointer values — machine configs
-//     carry factory closures such as alpha.Config.NewMapper —
-//     contribute only their static type and nil-ness. Two DIFFERENT
-//     non-nil closures of the same type therefore fingerprint
-//     identically. Callers that mutate such fields between runs must
-//     not rely on the fingerprint to tell the variants apart; this is
-//     why sweep.Space.Check rejects axes over fingerprint-opaque
-//     fields outright.
-//   - Map entries are sorted by their rendered form; slices and
-//     arrays keep element order.
-//   - Floats render in shortest 64-bit round-trip form, so equal
-//     values fingerprint equally regardless of how they were written.
-//
-// Under that contract, two configurations with equal observable
-// (exported, non-opaque) content always fingerprint identically, and
-// any change to a single exported scalar field — a mutated sweep
-// point — always changes the fingerprint.
-func Fingerprint(v any) string {
-	var b strings.Builder
-	writeCanonical(&b, reflect.ValueOf(v))
-	return b.String()
-}
-
-func writeCanonical(b *strings.Builder, v reflect.Value) {
-	if !v.IsValid() {
-		b.WriteString("<nil>")
-		return
-	}
-	switch v.Kind() {
-	case reflect.Pointer, reflect.Interface:
-		if v.IsNil() {
-			b.WriteString("<nil>")
-		} else {
-			writeCanonical(b, v.Elem())
-		}
-	case reflect.Struct:
-		t := v.Type()
-		b.WriteString(t.String())
-		b.WriteByte('{')
-		for i := 0; i < t.NumField(); i++ {
-			f := t.Field(i)
-			if f.PkgPath != "" { // unexported: not observable content
-				continue
-			}
-			b.WriteString(f.Name)
-			b.WriteByte('=')
-			writeCanonical(b, v.Field(i))
-			b.WriteByte(';')
-		}
-		b.WriteByte('}')
-	case reflect.Map:
-		kvs := make([]string, 0, v.Len())
-		iter := v.MapRange()
-		for iter.Next() {
-			var kv strings.Builder
-			writeCanonical(&kv, iter.Key())
-			kv.WriteByte(':')
-			writeCanonical(&kv, iter.Value())
-			kvs = append(kvs, kv.String())
-		}
-		sort.Strings(kvs)
-		b.WriteString("map[")
-		for _, kv := range kvs {
-			b.WriteString(kv)
-			b.WriteByte(';')
-		}
-		b.WriteByte(']')
-	case reflect.Slice, reflect.Array:
-		b.WriteByte('[')
-		for i := 0; i < v.Len(); i++ {
-			writeCanonical(b, v.Index(i))
-			b.WriteByte(';')
-		}
-		b.WriteByte(']')
-	case reflect.Func, reflect.Chan, reflect.UnsafePointer:
-		if v.Kind() != reflect.UnsafePointer && v.IsNil() {
-			b.WriteString("<nil>")
-		} else {
-			fmt.Fprintf(b, "<opaque %s>", v.Type())
-		}
-	case reflect.String:
-		b.WriteString(strconv.Quote(v.String()))
-	case reflect.Bool:
-		b.WriteString(strconv.FormatBool(v.Bool()))
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		b.WriteString(strconv.FormatInt(v.Int(), 10))
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		b.WriteString(strconv.FormatUint(v.Uint(), 10))
-	case reflect.Float32, reflect.Float64:
-		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
-	case reflect.Complex64, reflect.Complex128:
-		fmt.Fprintf(b, "%v", v.Complex())
-	default:
-		fmt.Fprintf(b, "<unhandled %s>", v.Type())
-	}
-}
-
 // Stats is a point-in-time snapshot of cache accounting.
 type Stats struct {
 	Hits      uint64 // served from a stored entry
-	Misses    uint64 // led a computation
+	Misses    uint64 // led a computation or a tier-2 read
+	Tier2Hits uint64 // misses answered by the second tier without computing
 	Waits     uint64 // joined another request's in-flight computation
 	Evictions uint64 // entries dropped by the LRU bound
 	Entries   int    // stored entries right now
@@ -192,8 +98,10 @@ type Cache struct {
 	ll        *list.List // front = most recently used
 	byKey     map[Key]*list.Element
 	inflight  map[Key]*flight
+	tier2     Tier2
 	hits      uint64
 	misses    uint64
+	tier2Hits uint64
 	waits     uint64
 	evictions uint64
 }
@@ -241,28 +149,55 @@ func (c *Cache) GetOrCompute(key Key, compute func() ([]byte, error)) (val []byt
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.misses++
+	t := c.tier2
 	c.mu.Unlock()
 
-	func() {
-		defer func() {
-			if p := recover(); p != nil {
-				f.err = fmt.Errorf("simcache: compute panicked: %v", p)
-			}
+	// A memory miss consults the second tier before computing; a
+	// computed value writes through. Both happen off the mutex (the
+	// tier is typically disk), under singleflight like compute itself.
+	fromTier2 := false
+	if t != nil {
+		if v, ok := t.Get(key); ok {
+			f.val, fromTier2 = v, true
+		}
+	}
+	if !fromTier2 {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					f.err = fmt.Errorf("simcache: compute panicked: %v", p)
+				}
+			}()
+			f.val, f.err = compute()
 		}()
-		f.val, f.err = compute()
-	}()
+		if f.err == nil && t != nil {
+			t.Put(key, f.val)
+		}
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if f.err == nil {
 		c.insert(key, f.val)
 	}
+	if fromTier2 {
+		c.tier2Hits++
+	}
 	c.mu.Unlock()
 	close(f.done)
 	if f.err != nil {
 		return nil, false, f.err
 	}
-	return clone(f.val), false, nil
+	return clone(f.val), fromTier2, nil
+}
+
+// SetTier2 attaches (or, with nil, detaches) a second cache tier.
+// Safe to call concurrently with lookups; entries already in memory
+// are unaffected.
+func (c *Cache) SetTier2(t Tier2) {
+	c.mu.Lock()
+	c.tier2 = t
+	c.mu.Unlock()
 }
 
 // Peek returns the stored bytes without touching recency or stats.
@@ -293,6 +228,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits:      c.hits,
 		Misses:    c.misses,
+		Tier2Hits: c.tier2Hits,
 		Waits:     c.waits,
 		Evictions: c.evictions,
 		Entries:   c.ll.Len(),

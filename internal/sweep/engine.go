@@ -58,6 +58,16 @@ type Engine struct {
 	// the detailed-simulation cost, and the plan joins each cell's
 	// cache address so sampled cells never collide with full ones.
 	Sample *core.SamplePlan
+	// Remote, when set, executes a cell on a remote worker instead of
+	// building and running the machine locally: it receives the
+	// cell's space, point, and budgeted workload and returns the
+	// marshaled core.RunResult bytes the worker produced. A remote
+	// error falls back to local execution (the dispatch layer has
+	// already exhausted its retries by then), so a dying worker tier
+	// degrades a sweep to single-node instead of failing it.
+	// Determinism makes the two paths interchangeable: local and
+	// remote cells produce identical result bytes.
+	Remote func(ctx context.Context, s *Space, p Point, w core.Workload) ([]byte, error)
 }
 
 // PointResult is one explored point with its per-workload results
@@ -176,15 +186,18 @@ func (e *Engine) Run(ctx context.Context, s *Space, pts []Point) ([]PointResult,
 			return core.RunResult{}, err
 		}
 		cfg, w := configs[c.p], ws[c.w]
-		if e.Cache == nil {
-			m, err := build(cfg)
-			if err != nil {
-				return core.RunResult{}, err
+		// compute produces the cell's canonical result bytes:
+		// dispatched to a worker when the Remote hook is set (falling
+		// back to local on dispatch failure), locally otherwise.
+		compute := func() ([]byte, error) {
+			if e.Remote != nil {
+				if body, rerr := e.Remote(ctx, s, pts[c.p], w); rerr == nil {
+					return body, nil
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 			}
-			return m.Run(w)
-		}
-		key := CellKey(cfg, w)
-		body, cached, err := e.Cache.GetOrCompute(key, func() ([]byte, error) {
 			m, err := build(cfg)
 			if err != nil {
 				return nil, err
@@ -194,7 +207,20 @@ func (e *Engine) Run(ctx context.Context, s *Space, pts []Point) ([]PointResult,
 				return nil, err
 			}
 			return json.Marshal(r)
-		})
+		}
+		if e.Cache == nil {
+			body, err := compute()
+			if err != nil {
+				return core.RunResult{}, err
+			}
+			var r core.RunResult
+			if err := json.Unmarshal(body, &r); err != nil {
+				return core.RunResult{}, fmt.Errorf("sweep: corrupt cell result: %w", err)
+			}
+			return r, nil
+		}
+		key := CellKey(cfg, w)
+		body, cached, err := e.Cache.GetOrCompute(key, compute)
 		if err != nil {
 			return core.RunResult{}, err
 		}

@@ -192,3 +192,45 @@ func TestSampledOperatingPoint(t *testing.T) {
 			fullCPI, est.CPI.Low(), est.CPI.High())
 	}
 }
+
+// TestCheckpointSampledOperatingPoint pins the checkpoint subsystem's
+// headline claim at the same benchmark operating point: a sampled run
+// against a recorded library touches at least 10x fewer instructions
+// (warming included — fast-forward is off the measured path entirely)
+// and lands within 0.2% of the full run's CPI. The error bar is 10x
+// tighter than continuous sampling's because restored state carries
+// the exact warm contents (caches, TLBs, and the direction, line, and
+// way predictors) a timed run would hold at each window.
+func TestCheckpointSampledOperatingPoint(t *testing.T) {
+	m := SimAlpha()
+	w, ok := WorkloadByName("gcc")
+	if !ok {
+		t.Fatal("no gcc workload")
+	}
+	w.MaxInstructions = sampledBenchLimit
+
+	full, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCPI := full.CPI()
+
+	plan := CheckpointLibraryPlan(sampledBenchLimit)
+	lib, err := BuildCheckpointLibrary(m, w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := RunCheckpointSampled(m, w, lib, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := est.Speedup(); s < 10 {
+		t.Errorf("detailed+warming reduction %.2fx, want >= 10x (%d detailed of %d stream)",
+			s, est.DetailedInstructions(), est.StreamInstructions())
+	}
+	errPct := 100 * (est.CPI.Mean - fullCPI) / fullCPI
+	if errPct < -0.2 || errPct > 0.2 {
+		t.Errorf("checkpoint-sampled CPI %.5f vs full %.5f: %+.3f%% error, want <= 0.2%%",
+			est.CPI.Mean, fullCPI, errPct)
+	}
+}

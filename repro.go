@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/alpha"
 	"repro/internal/asm"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/inorder"
@@ -156,6 +157,38 @@ func DefaultSamplePlan(limit uint64) SamplePlan { return sample.PlanFor(limit) }
 // returns the estimates at the default 95% confidence level.
 func RunSampled(m Machine, w Workload, plan SamplePlan) (SampledEstimates, error) {
 	return sample.Run(m, w, plan, 0)
+}
+
+// Checkpointed sampling: record a library of warmed checkpoints once,
+// then run sampled simulations that restore each interval's
+// checkpoint instead of fast-forwarding the whole stream — the
+// measured path touches only the detailed windows, and the intervals
+// run in parallel. See internal/checkpoint for the serialized state
+// and internal/sample for the library mechanics.
+
+// CheckpointLibrary is a recorded set of interval-boundary
+// checkpoints for one (workload, warm-relevant configuration) pair.
+type CheckpointLibrary = checkpoint.Library
+
+// CheckpointLibraryPlan returns the canonical checkpointed-sampling
+// schedule for a run length: one hundred intervals at a 10x
+// detailed+warming-instruction reduction.
+func CheckpointLibraryPlan(limit uint64) SamplePlan { return sample.LibraryPlanFor(limit) }
+
+// BuildCheckpointLibrary records the checkpoint library for the
+// workload under the plan (one functional-warming pass, a snapshot at
+// each interval boundary). The machine must support checkpoint
+// recording; all four timing models do.
+func BuildCheckpointLibrary(m Machine, w Workload, plan SamplePlan) (*CheckpointLibrary, error) {
+	return sample.BuildLibrary(m, w, plan)
+}
+
+// RunCheckpointSampled runs a sampled simulation against a recorded
+// library: every interval restores its checkpoint and simulates only
+// warmup+measure in detail, in parallel (parallelism 0 = one worker
+// per core).
+func RunCheckpointSampled(m Machine, w Workload, lib *CheckpointLibrary, plan SamplePlan, parallelism int) (SampledEstimates, error) {
+	return sample.RunWithLibrary(m, w, lib, plan, parallelism, 0)
 }
 
 // Experiment re-exports: each function regenerates one table or
