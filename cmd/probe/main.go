@@ -320,15 +320,34 @@ func cmdMachines(c *client, args []string) error {
 		return nil
 	}
 	var machines []struct {
-		Name        string `json:"name"`
-		Description string `json:"description"`
-		Fingerprint string `json:"fingerprint"`
+		Name         string `json:"name"`
+		Description  string `json:"description"`
+		Fingerprint  string `json:"fingerprint"`
+		Tier         string `json:"tier"`
+		Capabilities struct {
+			Checkpointable bool `json:"checkpointable"`
+			Samplable      bool `json:"samplable"`
+			CPIStack       bool `json:"cpi_stack"`
+		} `json:"capabilities"`
 	}
 	if err := json.Unmarshal(body, &machines); err != nil {
 		return err
 	}
 	for _, m := range machines {
-		fmt.Printf("%-14s %-12s %s\n", m.Name, m.Fingerprint, m.Description)
+		// Compact capability letters: C heckpointable, S amplable,
+		// K (CPI stacK); a dash marks the gap.
+		caps := [3]byte{'-', '-', '-'}
+		if m.Capabilities.Checkpointable {
+			caps[0] = 'C'
+		}
+		if m.Capabilities.Samplable {
+			caps[1] = 'S'
+		}
+		if m.Capabilities.CPIStack {
+			caps[2] = 'K'
+		}
+		fmt.Printf("%-14s %-12s %-10s %s %s\n",
+			m.Name, m.Fingerprint, m.Tier, caps[:], m.Description)
 	}
 	return nil
 }

@@ -27,7 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/microbench"
-	"repro/internal/native"
+	"repro/internal/model"
 	"repro/internal/simcache"
 	"repro/internal/sweep"
 )
@@ -54,7 +54,7 @@ func main() {
 
 	// The reference: the native DS-10L measured through the DCPI
 	// profiler emulation — the machine the paper calibrated against.
-	ref, err := eng.Reference(ctx, func() core.Machine { return native.New() })
+	ref, err := eng.Reference(ctx, func() core.Machine { return model.NewNative() })
 	if err != nil {
 		log.Fatal(err)
 	}

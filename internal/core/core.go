@@ -167,3 +167,21 @@ type CheckpointRecorder interface {
 	Machine
 	RecordCheckpoints(w Workload, positions []uint64) ([]*checkpoint.State, error)
 }
+
+// SampleCapable marks machines that honor Workload.Sample: systematic
+// interval sampling with functional fast-forward between the detailed
+// windows. The method is a marker, never called for effect — callers
+// discover the capability by interface assertion (see internal/model,
+// which derives every backend's capability flags this way).
+type SampleCapable interface {
+	Machine
+	SampleCapable()
+}
+
+// StackCapable marks machines whose RunResults carry a CPI-stack
+// Breakdown summing exactly to the run's cycles. Like SampleCapable,
+// the method is an assertion marker only.
+type StackCapable interface {
+	Machine
+	StackCapable()
+}

@@ -6,10 +6,10 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/alpha"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/microbench"
+	"repro/internal/model"
 	"repro/internal/sample"
 	"repro/internal/simcache"
 )
@@ -119,7 +119,7 @@ func TestLibraryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := alpha.New(alpha.DefaultConfig())
+	m := model.NewAlpha(model.DefaultAlphaConfig())
 	w, ok := microbench.ByName("C-Ca")
 	if !ok {
 		t.Fatal("no C-Ca workload")
@@ -191,7 +191,7 @@ func TestLoadLibrarySelection(t *testing.T) {
 		t.Error("missing library loaded without error")
 	}
 
-	m := alpha.New(alpha.DefaultConfig())
+	m := model.NewAlpha(model.DefaultAlphaConfig())
 	w, _ := microbench.ByName("C-Ca")
 	w.MaxInstructions = 2000
 	plan := core.SamplePlan{Period: 1000, Warmup: 100, Measure: 50}

@@ -70,10 +70,14 @@ const (
 	// ModelNative is the reference DS-10L (the alpha model at full
 	// fidelity measured through the DCPI profiler emulation).
 	ModelNative
+	// ModelInterval is the analytical interval-model estimator: cycles
+	// derived from measured event counts rather than simulated per
+	// cycle, so only the miss/mispredict events apply to it.
+	ModelInterval
 )
 
 // allModels is every model family.
-const allModels = ModelAlpha | ModelRUU | ModelInOrder | ModelNative
+const allModels = ModelAlpha | ModelRUU | ModelInOrder | ModelNative | ModelInterval
 
 // alphaSide is the 21264 pipeline and its native measurement.
 const alphaSide = ModelAlpha | ModelNative

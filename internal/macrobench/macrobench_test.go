@@ -3,8 +3,8 @@ package macrobench
 import (
 	"testing"
 
-	"repro/internal/alpha"
 	"repro/internal/cpu"
+	"repro/internal/model"
 )
 
 func TestSuiteShape(t *testing.T) {
@@ -66,7 +66,7 @@ func TestDeterministicGeneration(t *testing.T) {
 }
 
 func TestCharacteristicSignatures(t *testing.T) {
-	m := alpha.New(alpha.DefaultConfig())
+	m := model.NewAlpha(model.DefaultAlphaConfig())
 	get := func(name string) map[string]uint64 {
 		w, _ := ByName(name)
 		res, err := m.Run(w)
@@ -103,7 +103,7 @@ func TestCharacteristicSignatures(t *testing.T) {
 		t.Logf("note: art replay traps on sim-alpha = %d", art["replay_traps"])
 	}
 	// ...but does on the coarse-granularity native machine.
-	nm := alpha.New(alpha.NativeConfig())
+	nm := model.NewAlpha(model.NativeAlphaConfig())
 	w, _ := ByName("art")
 	res, err := nm.Run(w)
 	if err != nil {

@@ -1,0 +1,171 @@
+// Package model is the central backend registry: the single place
+// that knows every timing model in the repository by name. Each
+// backend registers a typed Descriptor — constructor, content-
+// addressable configuration, fidelity tier, and a one-line
+// description — and every consumer (the library facade, the service,
+// the sweep engine, the validation experiments, the command-line
+// tools) resolves machines through it. No layer above this package
+// imports a concrete model package; the layering is enforced by a CI
+// grep.
+//
+// Capability flags are not declared — they are *discovered*, by
+// interface assertion against a freshly constructed machine
+// (core.CheckpointRecorder, core.SampleCapable, core.StackCapable).
+// A backend cannot claim a capability its type does not implement,
+// and a new capability interface extends every descriptor at once.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Tier is a backend's fidelity class. The three tiers trade accuracy
+// for cost: detailed models simulate each cycle against the validated
+// 21264 microarchitecture; simplified models simulate each cycle of a
+// cruder pipeline; analytical models derive cycles from measured
+// event counts without per-cycle simulation.
+type Tier string
+
+const (
+	TierDetailed   Tier = "detailed"
+	TierSimplified Tier = "simplified"
+	TierAnalytical Tier = "analytical"
+)
+
+func (t Tier) valid() bool {
+	switch t {
+	case TierDetailed, TierSimplified, TierAnalytical:
+		return true
+	}
+	return false
+}
+
+// ErrUnknownBackend is wrapped by every lookup and build failure for
+// a name or configuration the registry does not know. Callers gate
+// on it with errors.Is rather than matching message text.
+var ErrUnknownBackend = errors.New("model: unknown backend")
+
+// Capabilities reports what a backend can do, discovered by interface
+// assertion (see Descriptor.Capabilities).
+type Capabilities struct {
+	// Checkpointable: the machine records restorable checkpoints
+	// (core.CheckpointRecorder).
+	Checkpointable bool `json:"checkpointable"`
+	// Samplable: the machine honors Workload.Sample interval
+	// sampling (core.SampleCapable).
+	Samplable bool `json:"samplable"`
+	// CPIStack: the machine's results carry a CPI-stack Breakdown
+	// summing exactly to its cycles (core.StackCapable).
+	CPIStack bool `json:"cpi_stack"`
+}
+
+// Descriptor registers one backend. Config content-addresses the
+// machine for result caching — it must be comparable structured data
+// whose fingerprint changes whenever timing-relevant behavior does.
+type Descriptor struct {
+	// Name is the registry key ("sim-alpha", "native-ds10l", ...).
+	Name string
+	// Description is the one-line catalogue entry.
+	Description string
+	// Tier is the fidelity class.
+	Tier Tier
+	// Config is the canonical configuration value (fingerprinted by
+	// consumers; never mutated).
+	Config any
+	// New constructs a fresh machine at the canonical configuration.
+	New func() core.Machine
+}
+
+// Capabilities discovers the backend's capability flags by asserting
+// the relevant interfaces against a fresh machine.
+func (d Descriptor) Capabilities() Capabilities {
+	m := d.New()
+	_, ckpt := m.(core.CheckpointRecorder)
+	_, smpl := m.(core.SampleCapable)
+	_, stack := m.(core.StackCapable)
+	return Capabilities{Checkpointable: ckpt, Samplable: smpl, CPIStack: stack}
+}
+
+// registry holds the backends in registration order; byName indexes
+// it. Registration happens in this package's init (backends.go), so
+// no locking is needed: the maps are read-only after init.
+var (
+	registry []Descriptor
+	byName   = make(map[string]int)
+)
+
+// Register adds a backend. It panics on an empty or duplicate name,
+// an invalid tier, or a nil constructor — registration errors are
+// programming errors, caught by the package's own tests.
+func Register(d Descriptor) {
+	if d.Name == "" {
+		panic("model: Register with empty name")
+	}
+	if _, dup := byName[d.Name]; dup {
+		panic(fmt.Sprintf("model: duplicate backend %q", d.Name))
+	}
+	if !d.Tier.valid() {
+		panic(fmt.Sprintf("model: backend %q has invalid tier %q", d.Name, d.Tier))
+	}
+	if d.New == nil {
+		panic(fmt.Sprintf("model: backend %q has nil constructor", d.Name))
+	}
+	byName[d.Name] = len(registry)
+	registry = append(registry, d)
+}
+
+// Backends returns every registered backend in registration order
+// (the canonical presentation order: reference first, then the
+// detailed simulators, then the cheaper tiers).
+func Backends() []Descriptor {
+	out := make([]Descriptor, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName resolves a backend name. The bare model name is accepted as
+// an alias: "interval" resolves to "sim-interval". Unknown names
+// return an error wrapping ErrUnknownBackend that lists what is
+// available.
+func ByName(name string) (Descriptor, error) {
+	if i, ok := byName[name]; ok {
+		return registry[i], nil
+	}
+	if i, ok := byName["sim-"+name]; ok {
+		return registry[i], nil
+	}
+	return Descriptor{}, fmt.Errorf("%w: %q (have %s)", ErrUnknownBackend, name, names())
+}
+
+// New constructs a fresh machine for a backend name.
+func New(name string) (core.Machine, error) {
+	d, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.New(), nil
+}
+
+// MustNew constructs a machine for a name the caller knows is
+// registered; it panics otherwise. For experiment tables and tests.
+func MustNew(name string) core.Machine {
+	m, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func names() string {
+	s := ""
+	for i, d := range registry {
+		if i > 0 {
+			s += ", "
+		}
+		s += d.Name
+	}
+	return s
+}

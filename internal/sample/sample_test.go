@@ -4,13 +4,10 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/events"
-	"repro/internal/inorder"
 	"repro/internal/macrobench"
-	"repro/internal/native"
-	"repro/internal/ruu"
+	"repro/internal/model"
 )
 
 // testWorkload returns a macrobenchmark bounded to limit dynamic
@@ -27,10 +24,10 @@ func testWorkload(t *testing.T, name string, limit uint64) core.Workload {
 
 func machines() []core.Machine {
 	return []core.Machine{
-		alpha.New(alpha.DefaultConfig()),
-		ruu.New(ruu.DefaultConfig()),
-		inorder.New(inorder.DefaultConfig()),
-		native.New(),
+		model.NewAlpha(model.DefaultAlphaConfig()),
+		model.NewRUU(model.DefaultRUUConfig()),
+		model.NewInorder(model.DefaultInorderConfig()),
+		model.NewNative(),
 	}
 }
 
@@ -102,7 +99,7 @@ func TestAllModelsHonorSampling(t *testing.T) {
 // must land near the full-run CPI and its 95% CI must contain it.
 func TestSampledAccuracy(t *testing.T) {
 	const limit = 15_000
-	m := alpha.New(alpha.DefaultConfig())
+	m := model.NewAlpha(model.DefaultAlphaConfig())
 	full, err := m.Run(testWorkload(t, "gcc", limit))
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +122,7 @@ func TestSampledAccuracy(t *testing.T) {
 // (machine, workload, plan).
 func TestSampledDeterminism(t *testing.T) {
 	const limit = 15_000
-	m := ruu.New(ruu.DefaultConfig())
+	m := model.NewRUU(model.DefaultRUUConfig())
 	a, err := Run(m, testWorkload(t, "mesa", limit), PlanFor(limit), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +185,7 @@ func TestMaxIntervals(t *testing.T) {
 	const limit = 15_000
 	plan := PlanFor(limit)
 	plan.MaxIntervals = 3
-	r, err := Run(alpha.New(alpha.DefaultConfig()), testWorkload(t, "gzip", limit), plan, 0)
+	r, err := Run(model.NewAlpha(model.DefaultAlphaConfig()), testWorkload(t, "gzip", limit), plan, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +253,7 @@ func TestEstimate(t *testing.T) {
 // per-interval observations.
 func TestComponentEstimatesMeaningful(t *testing.T) {
 	const limit = 15_000
-	r, err := Run(alpha.New(alpha.DefaultConfig()), testWorkload(t, "art", limit), PlanFor(limit), 0)
+	r, err := Run(model.NewAlpha(model.DefaultAlphaConfig()), testWorkload(t, "art", limit), PlanFor(limit), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/model"
 	"repro/internal/sweep"
 )
 
@@ -107,9 +108,19 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		s.acquire()
 		defer s.release()
 		s.metrics.Counter("cells_simulated_total").Inc()
-		m, err := sweep.DefaultBuilder(cfg)
-		if err != nil {
-			return nil, err
+		// An unmutated cell runs the registered constructor (which
+		// covers composite identities like the reference machine); a
+		// swept cell rebuilds from the mutated config through the
+		// registry's builder.
+		var m core.Machine
+		if len(req.Axes) == 0 {
+			m = spec.New()
+		} else {
+			var err error
+			m, err = model.Build(cfg)
+			if err != nil {
+				return nil, err
+			}
 		}
 		res, err := m.Run(work)
 		if err != nil {
@@ -125,7 +136,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 // dispatch failure — and simulated locally otherwise. The response is
 // identical either way; only sim_event_* attribution moves (each
 // process records the events it simulated itself).
-func (s *Server) runCell(spec MachineSpec, work core.Workload) (core.RunResult, error) {
+func (s *Server) runCell(spec model.Descriptor, work core.Workload) (core.RunResult, error) {
 	if s.dispatch != nil {
 		req := cellRequest{
 			Machine:  spec.Name,

@@ -34,80 +34,16 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
-	"repro/internal/dcpi"
 	"repro/internal/events"
-	"repro/internal/inorder"
 	"repro/internal/macrobench"
 	"repro/internal/metrics"
 	"repro/internal/microbench"
-	"repro/internal/native"
-	"repro/internal/ruu"
+	"repro/internal/model"
 	"repro/internal/sample"
 	"repro/internal/simcache"
 	"repro/internal/validate"
 )
-
-// MachineSpec registers one machine model with the service. Config
-// is the value the cache key is derived from: two specs with equal
-// Config fingerprints are interchangeable to the cache.
-type MachineSpec struct {
-	Name        string
-	Description string
-	Config      any
-	New         func() core.Machine
-}
-
-// nativeIdentity is what content-addresses the reference machine: its
-// full-fidelity model config plus the DCPI profiler operating point.
-type nativeIdentity struct {
-	Model alpha.Config
-	Prof  dcpi.Config
-}
-
-// DefaultMachines returns every machine model in the repository,
-// reference machine first, then the simulators in fidelity order.
-func DefaultMachines() []MachineSpec {
-	return []MachineSpec{
-		{
-			Name:        "native-ds10l",
-			Description: "reference DS-10L measured through the DCPI profiler emulation",
-			Config:      nativeIdentity{Model: alpha.NativeConfig(), Prof: dcpi.DefaultConfig()},
-			New:         func() core.Machine { return native.New() },
-		},
-		{
-			Name:        "sim-initial",
-			Description: "unvalidated first simulator version (full bug catalogue)",
-			Config:      alpha.SimInitial(),
-			New:         func() core.Machine { return alpha.New(alpha.SimInitial()) },
-		},
-		{
-			Name:        "sim-alpha",
-			Description: "validated 21264 model (the paper's calibrated simulator)",
-			Config:      alpha.DefaultConfig(),
-			New:         func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
-		},
-		{
-			Name:        "sim-stripped",
-			Description: "sim-alpha with the Section 5.1 features and constraints removed",
-			Config:      alpha.SimStripped(),
-			New:         func() core.Machine { return alpha.New(alpha.SimStripped()) },
-		},
-		{
-			Name:        "sim-outorder",
-			Description: "SimpleScalar-style RUU/LSQ out-of-order model",
-			Config:      ruu.DefaultConfig(),
-			New:         func() core.Machine { return ruu.New(ruu.DefaultConfig()) },
-		},
-		{
-			Name:        "sim-inorder",
-			Description: "in-order pipeline with DS-10L-like caches",
-			Config:      inorder.DefaultConfig(),
-			New:         func() core.Machine { return inorder.New(inorder.DefaultConfig()) },
-		},
-	}
-}
 
 // workloadSpec is one addressable workload with its catalogue entry.
 type workloadSpec struct {
@@ -155,8 +91,9 @@ type Config struct {
 	// (0 = GOMAXPROCS). It never enters cache keys: rendered output
 	// is byte-identical at every setting.
 	Parallelism int
-	// Machines overrides the served machine list (nil = DefaultMachines).
-	Machines []MachineSpec
+	// Machines overrides the served backend list (nil = every backend
+	// in the model registry, in registry order).
+	Machines []model.Descriptor
 	// MaxSweepPoints bounds how many design-space points one sweep job
 	// may visit (0 = 256). Submissions over the bound fail fast at POST.
 	MaxSweepPoints int
@@ -186,8 +123,8 @@ type Server struct {
 	cfg       Config
 	cache     *simcache.Cache
 	metrics   *metrics.Registry
-	machines  []MachineSpec
-	byMachine map[string]MachineSpec
+	machines  []model.Descriptor
+	byMachine map[string]model.Descriptor
 	wlOrder   []string
 	byWork    map[string]workloadSpec
 	sem       chan struct{}
@@ -225,9 +162,9 @@ func New(cfg Config) *Server {
 	}
 	machines := cfg.Machines
 	if machines == nil {
-		machines = DefaultMachines()
+		machines = model.Backends()
 	}
-	byMachine := make(map[string]MachineSpec, len(machines))
+	byMachine := make(map[string]model.Descriptor, len(machines))
 	for _, m := range machines {
 		byMachine[m.Name] = m
 	}
@@ -352,15 +289,23 @@ type machineInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
 	Fingerprint string `json:"fingerprint"`
+	// Tier is the backend's fidelity class: detailed, simplified, or
+	// analytical (see internal/model).
+	Tier string `json:"tier"`
+	// Capabilities are discovered from the machine type by interface
+	// assertion, never declared: checkpointable, samplable, cpi_stack.
+	Capabilities model.Capabilities `json:"capabilities"`
 }
 
 func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
 	out := make([]machineInfo, 0, len(s.machines))
 	for _, m := range s.machines {
 		out = append(out, machineInfo{
-			Name:        m.Name,
-			Description: m.Description,
-			Fingerprint: simcache.KeyOf("machine", simcache.Fingerprint(m.Config)).String()[:12],
+			Name:         m.Name,
+			Description:  m.Description,
+			Fingerprint:  simcache.KeyOf("machine", simcache.Fingerprint(m.Config)).String()[:12],
+			Tier:         string(m.Tier),
+			Capabilities: m.Capabilities(),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -384,7 +329,11 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 // runParams is the input of /v1/run, from query params (GET) or a
 // JSON body (POST).
 type runParams struct {
-	Machine  string `json:"machine"`
+	Machine string `json:"machine"`
+	// Backend is an alias for Machine in registry terms: the exact
+	// backend name, or the bare model name ("interval" resolves to
+	// "sim-interval"). Machine wins when both are set.
+	Backend  string `json:"backend"`
 	Workload string `json:"workload"`
 	Limit    uint64 `json:"limit"`
 	// Sample requests interval sampling. The plan defaults to
@@ -455,6 +404,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	} else {
 		q := r.URL.Query()
 		p.Machine = q.Get("machine")
+		p.Backend = q.Get("backend")
 		p.Workload = q.Get("workload")
 		if lim := q.Get("limit"); lim != "" {
 			n, err := strconv.ParseUint(lim, 10, 64)
@@ -500,14 +450,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			p.Sample = true
 		}
 	}
-	if p.Machine == "" || p.Workload == "" {
-		s.fail(w, http.StatusBadRequest, "machine and workload are required")
+	name := p.Machine
+	if name == "" {
+		name = p.Backend
+	}
+	if name == "" || p.Workload == "" {
+		s.fail(w, http.StatusBadRequest, "machine (or backend) and workload are required")
 		return
 	}
-	spec, ok := s.byMachine[p.Machine]
+	spec, ok := s.resolveBackend(name)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown machine %q (have: %s)",
-			p.Machine, strings.Join(s.machineNames(), ", "))
+			name, strings.Join(s.machineNames(), ", "))
+		return
+	}
+	if p.Sample && !spec.Capabilities().Samplable {
+		s.fail(w, http.StatusBadRequest,
+			"backend %q does not support interval sampling (tier %s)", spec.Name, spec.Tier)
 		return
 	}
 	wl, ok := s.byWork[p.Workload]
@@ -709,6 +668,17 @@ func (s *Server) acquire() {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// resolveBackend finds a served backend by exact name, falling back
+// to the bare model name ("interval" → "sim-interval"), mirroring
+// model.ByName but restricted to the machines this server serves.
+func (s *Server) resolveBackend(name string) (model.Descriptor, bool) {
+	if d, ok := s.byMachine[name]; ok {
+		return d, true
+	}
+	d, ok := s.byMachine["sim-"+name]
+	return d, ok
+}
 
 func (s *Server) machineNames() []string {
 	names := make([]string, 0, len(s.byMachine))

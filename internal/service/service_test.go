@@ -65,7 +65,7 @@ func TestMachinesAndWorkloads(t *testing.T) {
 	for _, m := range machines {
 		names[m.Name] = m
 	}
-	for _, want := range []string{"native-ds10l", "sim-initial", "sim-alpha", "sim-outorder", "sim-inorder"} {
+	for _, want := range []string{"native-ds10l", "sim-initial", "sim-alpha", "sim-outorder", "sim-inorder", "sim-interval"} {
 		m, ok := names[want]
 		if !ok {
 			t.Errorf("machine %q missing from /v1/machines", want)
@@ -74,6 +74,15 @@ func TestMachinesAndWorkloads(t *testing.T) {
 		if m.Fingerprint == "" || m.Description == "" {
 			t.Errorf("machine %q lacks fingerprint or description: %+v", want, m)
 		}
+		if m.Tier == "" {
+			t.Errorf("machine %q lacks a fidelity tier: %+v", want, m)
+		}
+	}
+	if ti := names["sim-interval"]; ti.Tier != "analytical" || ti.Capabilities.Samplable || !ti.Capabilities.CPIStack {
+		t.Errorf("sim-interval tier/capabilities wrong: %+v", ti)
+	}
+	if sa := names["sim-alpha"]; sa.Tier != "detailed" || !sa.Capabilities.Checkpointable || !sa.Capabilities.Samplable {
+		t.Errorf("sim-alpha tier/capabilities wrong: %+v", sa)
 	}
 	if names["sim-alpha"].Fingerprint == names["sim-initial"].Fingerprint {
 		t.Error("sim-alpha and sim-initial share a config fingerprint")
@@ -434,5 +443,50 @@ func TestRunSampledPlanKnobs(t *testing.T) {
 	}
 	if resp.Sampled == nil || resp.Sampled.Intervals != 3 {
 		t.Fatalf("interval cap not honored: %+v", resp.Sampled)
+	}
+}
+
+// TestBackendParamAndCapabilityGate covers the registry face of
+// /v1/run: backend= as the machine alias (exact and bare model
+// names), the analytical backend returning a real estimate, and the
+// capability gate rejecting sampling on an unsamplable tier before
+// any simulation runs.
+func TestBackendParamAndCapabilityGate(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, _, body := get(t, ts.URL+"/v1/run?backend=interval&workload=C-Ca&limit=20000")
+	if code != http.StatusOK {
+		t.Fatalf("backend=interval = %d: %s", code, body)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Machine != "sim-interval" {
+		t.Errorf("bare backend name resolved to %q, want sim-interval", resp.Machine)
+	}
+	if resp.CPI <= 0 || resp.Breakdown == nil {
+		t.Errorf("interval backend returned no estimate: cpi=%v breakdown=%v", resp.CPI, resp.Breakdown)
+	}
+
+	code, _, exact := get(t, ts.URL+"/v1/run?backend=sim-interval&workload=C-Ca&limit=20000")
+	if code != http.StatusOK {
+		t.Fatalf("backend=sim-interval = %d: %s", code, exact)
+	}
+	if string(exact) != string(body) {
+		t.Error("bare and exact backend names produce different bodies")
+	}
+
+	code, _, body = get(t, ts.URL+"/v1/run?backend=interval&workload=C-Ca&limit=20000&sample=1")
+	if code != http.StatusBadRequest {
+		t.Fatalf("sampling an analytical backend = %d (%s), want 400", code, body)
+	}
+	if !strings.Contains(string(body), "does not support interval sampling") {
+		t.Errorf("sample rejection lacks capability message: %s", body)
+	}
+
+	code, _, body = get(t, ts.URL+"/v1/run?backend=nonesuch&workload=C-Ca")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown backend = %d (%s), want 404", code, body)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/sweep"
 )
 
@@ -228,8 +229,8 @@ func (s *Server) planSweep(req sweepRequest) (sweepPlan, int, error) {
 			return plan, http.StatusNotFound, fmt.Errorf("unknown machine %q (have: %s)",
 				machine, strings.Join(s.machineNames(), ", "))
 		}
-		if _, err := sweep.DefaultBuilder(spec.Config); err != nil {
-			return plan, http.StatusBadRequest, fmt.Errorf("machine %q is not sweepable: %v", machine, err)
+		if _, err := model.Build(spec.Config); err != nil {
+			return plan, http.StatusBadRequest, fmt.Errorf("machine %q is not sweepable: %w", machine, err)
 		}
 		axes := make([]sweep.Axis, len(req.Axes))
 		for i, a := range req.Axes {

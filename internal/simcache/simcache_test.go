@@ -8,8 +8,7 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/alpha"
-	"repro/internal/ruu"
+	"repro/internal/model"
 )
 
 func key(s string) Key { return KeyOf("test", s) }
@@ -184,19 +183,19 @@ func TestPanicConvertedToError(t *testing.T) {
 // TestFingerprintDeterministic pins the canonical-rendering contract
 // on the real machine configurations the service hashes.
 func TestFingerprintDeterministic(t *testing.T) {
-	a1 := Fingerprint(alpha.DefaultConfig())
-	a2 := Fingerprint(alpha.DefaultConfig())
+	a1 := Fingerprint(model.DefaultAlphaConfig())
+	a2 := Fingerprint(model.DefaultAlphaConfig())
 	if a1 != a2 {
 		t.Fatal("two renderings of the same config differ")
 	}
-	if a1 == Fingerprint(alpha.SimInitial()) {
+	if a1 == Fingerprint(model.SimInitialConfig()) {
 		t.Fatal("sim-alpha and sim-initial configs fingerprint identically")
 	}
-	if a1 == Fingerprint(ruu.DefaultConfig()) {
+	if a1 == Fingerprint(model.DefaultRUUConfig()) {
 		t.Fatal("alpha and ruu configs fingerprint identically")
 	}
 
-	cfg := alpha.DefaultConfig()
+	cfg := model.DefaultAlphaConfig()
 	cfg.ROB++
 	if a1 == Fingerprint(cfg) {
 		t.Fatal("changing ROB size did not change the fingerprint")
@@ -266,20 +265,20 @@ func TestFingerprintOpaqueKinds(t *testing.T) {
 // property that keeps one sweep point's cached cells from being
 // served for another's.
 func TestFingerprintSweepMutationsDistinct(t *testing.T) {
-	base := Fingerprint(alpha.DefaultConfig())
+	base := Fingerprint(model.DefaultAlphaConfig())
 	seen := map[string]string{"base": base}
-	mutations := map[string]func(*alpha.Config){
-		"ROB":             func(c *alpha.Config) { c.ROB /= 2 },
-		"IntIssueWidth":   func(c *alpha.Config) { c.IntIssueWidth = 2 },
-		"RenameRegs":      func(c *alpha.Config) { c.RenameRegs /= 2 },
-		"Hier.L2.HitLat":  func(c *alpha.Config) { c.Hier.L2.HitLatency *= 2 },
-		"DRAM.CASCycles":  func(c *alpha.Config) { c.DRAM.CASCycles *= 2 },
-		"DRAM.OpenPage":   func(c *alpha.Config) { c.DRAM.OpenPage = !c.DRAM.OpenPage },
-		"Tour.GlobalHist": func(c *alpha.Config) { c.Tour.GlobalHistBits = 2 },
-		"Bugs.LateBranch": func(c *alpha.Config) { c.Bugs.LateBranchRecovery = true },
+	mutations := map[string]func(*model.AlphaConfig){
+		"ROB":             func(c *model.AlphaConfig) { c.ROB /= 2 },
+		"IntIssueWidth":   func(c *model.AlphaConfig) { c.IntIssueWidth = 2 },
+		"RenameRegs":      func(c *model.AlphaConfig) { c.RenameRegs /= 2 },
+		"Hier.L2.HitLat":  func(c *model.AlphaConfig) { c.Hier.L2.HitLatency *= 2 },
+		"DRAM.CASCycles":  func(c *model.AlphaConfig) { c.DRAM.CASCycles *= 2 },
+		"DRAM.OpenPage":   func(c *model.AlphaConfig) { c.DRAM.OpenPage = !c.DRAM.OpenPage },
+		"Tour.GlobalHist": func(c *model.AlphaConfig) { c.Tour.GlobalHistBits = 2 },
+		"Bugs.LateBranch": func(c *model.AlphaConfig) { c.Bugs.LateBranchRecovery = true },
 	}
 	for name, mutate := range mutations {
-		c := alpha.DefaultConfig()
+		c := model.DefaultAlphaConfig()
 		mutate(&c)
 		fp := Fingerprint(c)
 		for prev, prevFP := range seen {
@@ -351,7 +350,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 // and the version prefixes themselves ("run/v1", "sample/v1",
 // "sweep/v1") are pairwise distinct key namespaces.
 func TestSampledKeysDistinctFromFull(t *testing.T) {
-	machine := Fingerprint(alpha.DefaultConfig())
+	machine := Fingerprint(model.DefaultAlphaConfig())
 	work := Fingerprint(struct {
 		Name string
 		Max  uint64

@@ -6,9 +6,9 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -318,7 +318,7 @@ func Calibrate(ctx context.Context, e *Engine, s *Space, start Point, ref []core
 // sim-alpha tuning as a convergence trace.
 func SimInitialBugSpace() *Space {
 	return &Space{
-		Base: alpha.SimInitial(),
+		Base: model.SimInitialConfig(),
 		Axes: []Axis{
 			Bools("latebr", "Bugs.LateBranchRecovery", true, false),
 			Bools("waypred", "Bugs.ExtraWayPredCycle", true, false),

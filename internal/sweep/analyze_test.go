@@ -6,12 +6,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/microbench"
-	"repro/internal/native"
+	"repro/internal/model"
 	"repro/internal/simcache"
 )
 
 func refMachineFactory() func() core.Machine {
-	return func() core.Machine { return native.New() }
+	return func() core.Machine { return model.NewNative() }
 }
 
 // Sensitivity must rank a knob that moves CPI a lot (integer issue

@@ -6,11 +6,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
-	"repro/internal/inorder"
+	"repro/internal/model"
 	"repro/internal/runner"
-	"repro/internal/ruu"
 	"repro/internal/simcache"
 	"repro/internal/stats"
 )
@@ -19,21 +17,12 @@ import (
 type Builder func(cfg any) (core.Machine, error)
 
 // DefaultBuilder builds machines for every sweepable config type in
-// the repository, validating the configuration first so a degenerate
-// sweep point surfaces as that cell's error, not a panic.
+// the repository by delegating to the backend registry, validating
+// the configuration first so a degenerate sweep point surfaces as
+// that cell's error, not a panic. An unrecognized config type returns
+// an error wrapping model.ErrUnknownBackend.
 func DefaultBuilder(cfg any) (core.Machine, error) {
-	switch c := cfg.(type) {
-	case alpha.Config:
-		if err := c.Check(); err != nil {
-			return nil, err
-		}
-		return alpha.New(c), nil
-	case ruu.Config:
-		return ruu.New(c), nil
-	case inorder.Config:
-		return inorder.New(c), nil
-	}
-	return nil, fmt.Errorf("sweep: no builder for config type %T", cfg)
+	return model.Build(cfg)
 }
 
 // Engine runs sweep points over a workload suite: every (point ×

@@ -4,13 +4,13 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/alpha"
+	"repro/internal/model"
 	"repro/internal/simcache"
 )
 
 func tuningSpace() *Space {
 	return &Space{
-		Base: alpha.DefaultConfig(),
+		Base: model.DefaultAlphaConfig(),
 		Axes: []Axis{
 			Ints("rob", "ROB", 80, 40, 20),
 			Ints("issue", "IntIssueWidth", 4, 2),
@@ -30,18 +30,18 @@ func TestSpaceCheck(t *testing.T) {
 		want string
 	}{
 		{"no base", &Space{Axes: []Axis{Ints("x", "ROB", 1)}}, "no base config"},
-		{"no axes", &Space{Base: alpha.DefaultConfig()}, "no axes"},
-		{"unknown field", &Space{Base: alpha.DefaultConfig(),
+		{"no axes", &Space{Base: model.DefaultAlphaConfig()}, "no axes"},
+		{"unknown field", &Space{Base: model.DefaultAlphaConfig(),
 			Axes: []Axis{Ints("x", "NoSuchKnob", 1)}}, "no field"},
-		{"unknown nested field", &Space{Base: alpha.DefaultConfig(),
+		{"unknown nested field", &Space{Base: model.DefaultAlphaConfig(),
 			Axes: []Axis{Ints("x", "Hier.L2.Nope", 1)}}, "no field"},
-		{"duplicate axis", &Space{Base: alpha.DefaultConfig(),
+		{"duplicate axis", &Space{Base: model.DefaultAlphaConfig(),
 			Axes: []Axis{Ints("x", "ROB", 1), Ints("x", "IntQueue", 1)}}, "duplicate"},
-		{"empty values", &Space{Base: alpha.DefaultConfig(),
+		{"empty values", &Space{Base: model.DefaultAlphaConfig(),
 			Axes: []Axis{{Name: "x", Field: "ROB"}}}, "no values"},
-		{"type mismatch", &Space{Base: alpha.DefaultConfig(),
+		{"type mismatch", &Space{Base: model.DefaultAlphaConfig(),
 			Axes: []Axis{{Name: "x", Field: "ROB", Values: []any{"eighty"}}}}, "cannot assign"},
-		{"func field aliases cache keys", &Space{Base: alpha.DefaultConfig(),
+		{"func field aliases cache keys", &Space{Base: model.DefaultAlphaConfig(),
 			Axes: []Axis{{Name: "x", Field: "NewMapper", Values: []any{nil}}}}, "fingerprint-opaque"},
 		{"non-struct base", &Space{Base: 42,
 			Axes: []Axis{Ints("x", "ROB", 1)}}, "must be a struct"},
@@ -65,12 +65,12 @@ func TestSpaceConfigAppliesWithoutMutatingBase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := cfgAny.(alpha.Config)
+	cfg := cfgAny.(model.AlphaConfig)
 	if cfg.ROB != 20 || cfg.IntIssueWidth != 2 || cfg.DRAM.OpenPage {
 		t.Errorf("point not applied: ROB=%d issue=%d openpage=%v",
 			cfg.ROB, cfg.IntIssueWidth, cfg.DRAM.OpenPage)
 	}
-	base := s.Base.(alpha.Config)
+	base := s.Base.(model.AlphaConfig)
 	if base.ROB != 80 || base.IntIssueWidth != 4 || !base.DRAM.OpenPage {
 		t.Error("Config mutated the base configuration")
 	}
@@ -107,7 +107,7 @@ func TestDistinctPointsDistinctCellKeys(t *testing.T) {
 func TestAssignLosslessConversions(t *testing.T) {
 	// JSON-decoded axis values arrive as float64; integral ones must
 	// land in int fields, lossy ones must be rejected.
-	s := &Space{Base: alpha.DefaultConfig(),
+	s := &Space{Base: model.DefaultAlphaConfig(),
 		Axes: []Axis{{Name: "rob", Field: "ROB", Values: []any{float64(48)}}}}
 	if err := s.Check(); err != nil {
 		t.Fatalf("integral float64 rejected: %v", err)
@@ -116,7 +116,7 @@ func TestAssignLosslessConversions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := cfg.(alpha.Config).ROB; got != 48 {
+	if got := cfg.(model.AlphaConfig).ROB; got != 48 {
 		t.Errorf("ROB = %d, want 48", got)
 	}
 

@@ -4,13 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/events"
-	"repro/internal/inorder"
 	"repro/internal/microbench"
-	"repro/internal/native"
-	"repro/internal/ruu"
+	"repro/internal/model"
 )
 
 // BreakdownRow is one workload's CPI stack on one machine: total CPI
@@ -48,10 +45,10 @@ type BreakdownResult struct {
 func Breakdown(opt Options) (BreakdownResult, error) {
 	ws := opt.apply(microbench.Suite())
 	grids, err := runGrid(opt, []factory{
-		func() core.Machine { return native.New() },
-		func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
-		func() core.Machine { return ruu.New(ruu.DefaultConfig()) },
-		func() core.Machine { return inorder.New(inorder.DefaultConfig()) },
+		func() core.Machine { return model.NewNative() },
+		func() core.Machine { return model.NewAlpha(model.DefaultAlphaConfig()) },
+		func() core.Machine { return model.NewRUU(model.DefaultRUUConfig()) },
+		func() core.Machine { return model.NewInorder(model.DefaultInorderConfig()) },
 	}, ws)
 	if err != nil {
 		return BreakdownResult{}, err

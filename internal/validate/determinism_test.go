@@ -4,9 +4,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/alpha"
-	"repro/internal/inorder"
-	"repro/internal/ruu"
+	"repro/internal/model"
 	"repro/internal/simcache"
 )
 
@@ -128,6 +126,31 @@ func TestCrossModelParallelDeterminism(t *testing.T) {
 	})
 }
 
+// TestStabilityDeterminism holds the cross-tier stability experiment
+// to the merge-determinism guarantee: identical rendered output on
+// one worker and on eight. The experiment's whole point is comparing
+// rankings, so a scheduling-dependent cell merge would invalidate the
+// flip report silently.
+func TestStabilityDeterminism(t *testing.T) {
+	serial := quick
+	serial.Parallelism = 1
+	wide := quick
+	wide.Parallelism = 8
+
+	s, err := Stability(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Stability(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != w.String() {
+		t.Errorf("Stability output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+			s.String(), w.String())
+	}
+}
+
 // TestModelFingerprintsUnchanged pins the simcache fingerprints of the
 // four timing-model configurations. The performance pass must be
 // invisible here: fingerprints hash only exported configuration, so a
@@ -140,10 +163,10 @@ func TestModelFingerprintsUnchanged(t *testing.T) {
 		cfg  any
 		want string
 	}{
-		"sim-alpha":    {alpha.DefaultConfig(), "8690265aa54c5e09301c5285fdb22b82a36e3d027ec262a52eb313fc4a77751f"},
-		"sim-initial":  {alpha.SimInitial(), "6c89a268d4e7740d11ec8663db3712ca0636c77bb2c6a6fb753ebfcc37b27d21"},
-		"sim-outorder": {ruu.DefaultConfig(), "59ac47bb634bc23c86fb606647c24aa26ea09d02f810f632edc5de752ef07a42"},
-		"sim-inorder":  {inorder.DefaultConfig(), "29694f7d2b0720bce6024d8308fa124171b0695913af8c2a0a10180e5f84b404"},
+		"sim-alpha":    {model.DefaultAlphaConfig(), "8690265aa54c5e09301c5285fdb22b82a36e3d027ec262a52eb313fc4a77751f"},
+		"sim-initial":  {model.SimInitialConfig(), "6c89a268d4e7740d11ec8663db3712ca0636c77bb2c6a6fb753ebfcc37b27d21"},
+		"sim-outorder": {model.DefaultRUUConfig(), "59ac47bb634bc23c86fb606647c24aa26ea09d02f810f632edc5de752ef07a42"},
+		"sim-inorder":  {model.DefaultInorderConfig(), "29694f7d2b0720bce6024d8308fa124171b0695913af8c2a0a10180e5f84b404"},
 	}
 	for name, d := range digests {
 		got := simcache.KeyOf(simcache.Fingerprint(d.cfg)).String()

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/macrobench"
-	"repro/internal/ruu"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -52,14 +51,14 @@ func Figure2(opt Options) (Figure2Result, error) {
 	ws := opt.apply(macrobench.Suite())
 
 	abstract := func(i int) core.Machine {
-		cfg := ruu.EightWide()
+		cfg := model.EightWideRUUConfig()
 		applyRF(i, &cfg.RFReadCycles, &cfg.PartialBypass)
-		return ruu.New(cfg)
+		return model.NewRUU(cfg)
 	}
 	alphaM := func(i int) core.Machine {
-		cfg := alpha.DefaultConfig()
+		cfg := model.DefaultAlphaConfig()
 		applyRF(i, &cfg.RFReadCycles, &cfg.PartialBypass)
-		return alpha.New(cfg)
+		return model.NewAlpha(cfg)
 	}
 
 	// Six machines (two simulators × three RF configurations) × the

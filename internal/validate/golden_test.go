@@ -107,6 +107,23 @@ func TestGoldenSampled(t *testing.T) {
 	checkGolden(t, "sampled", res.String())
 }
 
+// TestGoldenStability covers the cross-tier conclusion-stability
+// experiment (outside the results_full.txt nine). Beyond
+// byte-stability, the blessed operating point must exhibit the
+// experiment's reason for existing: at least one pair of
+// optimizations whose speedup ranking flips between the detailed and
+// analytical tiers.
+func TestGoldenStability(t *testing.T) {
+	res, err := Stability(goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flips) == 0 {
+		t.Errorf("no ranking flips between tiers at the golden operating point")
+	}
+	checkGolden(t, "stability", res.String())
+}
+
 // checkGolden compares a rendering against its blessed file in
 // testdata/, rewriting the file under -update.
 func checkGolden(t *testing.T, name, got string) {

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/macrobench"
+	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -48,9 +48,9 @@ func MappingStudy(opt Options) (MappingResult, error) {
 	var builds []factory
 	for _, nm := range mappers {
 		builds = append(builds, func() core.Machine {
-			cfg := alpha.DefaultConfig()
+			cfg := model.DefaultAlphaConfig()
 			cfg.NewMapper = nm
-			return alpha.New(cfg)
+			return model.NewAlpha(cfg)
 		})
 	}
 	grids, err := runGrid(opt, builds, ws)

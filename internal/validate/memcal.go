@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/microbench"
-	"repro/internal/native"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -65,16 +64,16 @@ func MemoryCalibration(opt Options) (MemCalResult, error) {
 			}
 		}
 	}
-	builds := []factory{func() core.Machine { return native.New() }}
+	builds := []factory{func() core.Machine { return model.NewNative() }}
 	for _, pt := range points {
 		builds = append(builds, func() core.Machine {
-			cfg := alpha.DefaultConfig()
+			cfg := model.DefaultAlphaConfig()
 			cfg.DRAM.OpenPage = pt.OpenPage
 			cfg.DRAM.RASCycles = pt.RAS
 			cfg.DRAM.CASCycles = pt.CAS
 			cfg.DRAM.PrechargeCycles = pt.Precharge
 			cfg.DRAM.ControllerCycles = pt.Controller
-			return alpha.New(cfg)
+			return model.NewAlpha(cfg)
 		})
 	}
 	grids, err := runGrid(opt, builds, ws)

@@ -48,6 +48,8 @@ var registry = []Experiment{
 		func(o Options) (fmt.Stringer, error) { return Calibration(o) }},
 	{"sampled", "Sampled simulation: interval sampling with confidence intervals",
 		func(o Options) (fmt.Stringer, error) { return Sampled(o) }},
+	{"stability", "Conclusion stability across fidelity tiers (detailed vs analytical)",
+		func(o Options) (fmt.Stringer, error) { return Stability(o) }},
 }
 
 // Experiments returns every registered experiment in paper order.

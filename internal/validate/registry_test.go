@@ -9,7 +9,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "sampling", "memcal",
 		"table3", "table4", "table5", "figure2", "mapping",
-		"breakdown", "sweep", "calibration", "sampled",
+		"breakdown", "sweep", "calibration", "sampled", "stability",
 	}
 	got := ExperimentNames()
 	if len(got) != len(want) {

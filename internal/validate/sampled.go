@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/macrobench"
+	"repro/internal/model"
 	"repro/internal/runner"
 	"repro/internal/sample"
 	"repro/internal/stats"
@@ -72,7 +72,7 @@ func Sampled(opt Options) (SampledResult, error) {
 			p := sample.PlanFor(w.MaxInstructions)
 			w.Sample = &p
 		}
-		return alpha.New(alpha.DefaultConfig()).Run(w)
+		return model.NewAlpha(model.DefaultAlphaConfig()).Run(w)
 	})
 	if err != nil {
 		return SampledResult{}, err

@@ -6,9 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/dcpi"
 	"repro/internal/microbench"
-	"repro/internal/native"
+	"repro/internal/model"
 	"repro/internal/runner"
 )
 
@@ -44,7 +43,7 @@ func SamplingStudy(opt Options) (SamplingResult, error) {
 	// per-interval profiler emulation afterwards is pure arithmetic.
 	exacts, err := runner.Map(opt.Parallelism, ws,
 		func(_ int, w core.Workload) (core.RunResult, error) {
-			return native.New().RunExact(w)
+			return model.NewNative().RunExact(w)
 		})
 	if err != nil {
 		return SamplingResult{}, err
@@ -56,17 +55,17 @@ func SamplingStudy(opt Options) (SamplingResult, error) {
 
 	var out SamplingResult
 	for _, interval := range []uint64{1000, 4000, 10000, 20000, 40000, 64000} {
-		cfg := dcpi.DefaultConfig()
+		cfg := model.DefaultDCPIConfig()
 		cfg.IntervalCycles = interval
 		// Aliasing error grows with the interval: fewer samples see
 		// fewer event transitions.
 		cfg.JitterPPM = 20 * interval / 1000
 		var dil, errs []float64
 		for _, w := range ws {
-			m := dcpi.Measure(cfg, truth[w.Name])
+			m := model.MeasureDCPI(cfg, truth[w.Name])
 			noJitter := cfg
 			noJitter.JitterPPM = 0
-			d := dcpi.Measure(noJitter, truth[w.Name])
+			d := model.MeasureDCPI(noJitter, truth[w.Name])
 			dil = append(dil, pct(d.Cycles, truth[w.Name].Cycles))
 			errs = append(errs, math.Abs(pct(m.Cycles, d.Cycles)))
 		}

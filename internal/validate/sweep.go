@@ -5,10 +5,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/microbench"
-	"repro/internal/native"
+	"repro/internal/model"
 	"repro/internal/simcache"
 	"repro/internal/sweep"
 )
@@ -53,9 +52,9 @@ type SweepResult struct {
 // attribution to arbitrary configuration knobs.
 func Sweep(opt Options) (SweepResult, error) {
 	eng := sweepEngine(opt)
-	space := &sweep.Space{Base: alpha.DefaultConfig(), Axes: tuningAxes()}
+	space := &sweep.Space{Base: model.DefaultAlphaConfig(), Axes: tuningAxes()}
 	ctx := context.Background()
-	ref, err := eng.Reference(ctx, func() core.Machine { return native.New() })
+	ref, err := eng.Reference(ctx, func() core.Machine { return model.NewNative() })
 	if err != nil {
 		return SweepResult{}, err
 	}
@@ -115,7 +114,7 @@ func Calibration(opt Options) (AutoCalResult, error) {
 	eng := sweepEngine(opt)
 	space := sweep.SimInitialBugSpace()
 	ctx := context.Background()
-	ref, err := eng.Reference(ctx, func() core.Machine { return native.New() })
+	ref, err := eng.Reference(ctx, func() core.Machine { return model.NewNative() })
 	if err != nil {
 		return AutoCalResult{}, err
 	}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/model"
 	"repro/internal/runner"
 )
 
@@ -41,7 +41,7 @@ func Table1(opt Options) (Table1Result, error) {
 	rows, err := runner.Map(opt.Parallelism, table1Chains(),
 		func(_ int, c latencyChain) (Table1Row, error) {
 			w, chainOps := c.build()
-			res, err := alpha.New(alpha.DefaultConfig()).Run(w)
+			res, err := model.NewAlpha(model.DefaultAlphaConfig()).Run(w)
 			if err != nil {
 				return Table1Row{}, err
 			}

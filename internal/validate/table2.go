@@ -10,11 +10,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/microbench"
-	"repro/internal/native"
-	"repro/internal/ruu"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -47,10 +45,10 @@ type Table2Result struct {
 func Table2(opt Options) (Table2Result, error) {
 	ws := opt.apply(microbench.Suite())
 	grids, err := runGrid(opt, []factory{
-		func() core.Machine { return native.New() },
-		func() core.Machine { return alpha.New(alpha.SimInitial()) },
-		func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
-		func() core.Machine { return ruu.New(ruu.DefaultConfig()) },
+		func() core.Machine { return model.NewNative() },
+		func() core.Machine { return model.NewAlpha(model.SimInitialConfig()) },
+		func() core.Machine { return model.NewAlpha(model.DefaultAlphaConfig()) },
+		func() core.Machine { return model.NewRUU(model.DefaultRUUConfig()) },
 	}, ws)
 	if err != nil {
 		return Table2Result{}, err

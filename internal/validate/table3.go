@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/macrobench"
-	"repro/internal/native"
-	"repro/internal/ruu"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -46,10 +44,10 @@ type Table3Result struct {
 func Table3(opt Options) (Table3Result, error) {
 	ws := opt.apply(macrobench.Suite())
 	grids, err := runGrid(opt, []factory{
-		func() core.Machine { return native.New() },
-		func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
-		func() core.Machine { return alpha.New(alpha.SimStripped()) },
-		func() core.Machine { return ruu.New(ruu.DefaultConfig()) },
+		func() core.Machine { return model.NewNative() },
+		func() core.Machine { return model.NewAlpha(model.DefaultAlphaConfig()) },
+		func() core.Machine { return model.NewAlpha(model.SimStrippedConfig()) },
+		func() core.Machine { return model.NewRUU(model.DefaultRUUConfig()) },
 	}, ws)
 	if err != nil {
 		return Table3Result{}, err

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/macrobench"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -36,11 +36,11 @@ type Table4Result struct {
 func Table4(opt Options) (Table4Result, error) {
 	ws := opt.apply(macrobench.Suite())
 	builds := []factory{
-		func() core.Machine { return alpha.New(alpha.DefaultConfig()) },
+		func() core.Machine { return model.NewAlpha(model.DefaultAlphaConfig()) },
 	}
-	for _, feat := range alpha.FeatureNames {
+	for _, feat := range model.AlphaFeatures() {
 		builds = append(builds, func() core.Machine {
-			return alpha.New(alpha.DefaultConfig().WithoutFeature(feat))
+			return model.NewAlpha(model.DefaultAlphaConfig().WithoutFeature(feat))
 		})
 	}
 	grids, err := runGrid(opt, builds, ws)
@@ -55,7 +55,7 @@ func Table4(opt Options) (Table4Result, error) {
 	}
 	out := Table4Result{RefIPC: stats.HarmonicMean(refIPCs)}
 
-	for fi, feat := range alpha.FeatureNames {
+	for fi, feat := range model.AlphaFeatures() {
 		res := grids[fi+1]
 		var ipcs, changes []float64
 		for _, w := range ws {

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/alpha"
 	"repro/internal/core"
 	"repro/internal/macrobench"
-	"repro/internal/ruu"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -39,7 +38,7 @@ type table5Machine struct {
 	build func(opt string) core.Machine
 }
 
-func alphaVariant(base alpha.Config) func(opt string) core.Machine {
+func alphaVariant(base model.AlphaConfig) func(opt string) core.Machine {
 	return func(opt string) core.Machine {
 		cfg := base
 		switch opt {
@@ -51,11 +50,11 @@ func alphaVariant(base alpha.Config) func(opt string) core.Machine {
 		case Table5Optimizations[2]:
 			cfg.RenameRegs = 80
 		}
-		return alpha.New(cfg)
+		return model.NewAlpha(cfg)
 	}
 }
 
-func ruuVariant(base ruu.Config) func(opt string) core.Machine {
+func ruuVariant(base model.RUUConfig) func(opt string) core.Machine {
 	return func(opt string) core.Machine {
 		cfg := base
 		switch opt {
@@ -67,7 +66,7 @@ func ruuVariant(base ruu.Config) func(opt string) core.Machine {
 		case Table5Optimizations[2]:
 			cfg.RenameRegs = 80
 		}
-		return ruu.New(cfg)
+		return model.NewRUU(cfg)
 	}
 }
 
@@ -81,16 +80,16 @@ func ruuVariant(base ruu.Config) func(opt string) core.Machine {
 func Table5(opt Options) (Table5Result, error) {
 	ws := opt.apply(macrobench.Suite())
 
-	machines := []table5Machine{{"sim-alpha", alphaVariant(alpha.DefaultConfig())}}
-	for _, feat := range alpha.FeatureNames {
+	machines := []table5Machine{{"sim-alpha", alphaVariant(model.DefaultAlphaConfig())}}
+	for _, feat := range model.AlphaFeatures() {
 		machines = append(machines, table5Machine{
 			name:  feat,
-			build: alphaVariant(alpha.DefaultConfig().WithoutFeature(feat)),
+			build: alphaVariant(model.DefaultAlphaConfig().WithoutFeature(feat)),
 		})
 	}
 	machines = append(machines,
-		table5Machine{"sim-strip", alphaVariant(alpha.SimStripped())},
-		table5Machine{"sim-out", ruuVariant(ruu.DefaultConfig())},
+		table5Machine{"sim-strip", alphaVariant(model.SimStrippedConfig())},
+		table5Machine{"sim-out", ruuVariant(model.DefaultRUUConfig())},
 	)
 
 	// Flatten the (configuration × variant) plane into one grid: for

@@ -11,6 +11,7 @@ import (
 func machinesUnderTest() []Machine {
 	ms := []Machine{
 		SimAlpha(), SimInitial(), SimStripped(), SimOutorder(), NativeDS10L(),
+		SimInterval(),
 	}
 	for _, f := range FeatureNames() {
 		ms = append(ms, SimAlphaWithout(f))

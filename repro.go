@@ -31,17 +31,14 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/alpha"
 	"repro/internal/asm"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/inorder"
 	"repro/internal/isa"
 	"repro/internal/macrobench"
 	"repro/internal/microbench"
-	"repro/internal/native"
-	"repro/internal/ruu"
+	"repro/internal/model"
 	"repro/internal/sample"
 	"repro/internal/stats"
 	"repro/internal/validate"
@@ -58,53 +55,73 @@ type Workload = core.Workload
 // plus machine-specific event counters.
 type RunResult = core.RunResult
 
+// Every constructor below resolves through the backend registry
+// (internal/model), the one place that knows machines by name; see
+// Backends for the catalogue with fidelity tiers and capabilities.
+
 // SimAlpha returns the validated Alpha 21264 simulator, the paper's
 // primary artifact.
-func SimAlpha() Machine { return alpha.New(alpha.DefaultConfig()) }
+func SimAlpha() Machine { return model.MustNew("sim-alpha") }
 
 // SimInitial returns the unvalidated initial simulator: sim-alpha
 // plus the catalogued modeling, specification and abstraction bugs of
 // Section 3.4.
-func SimInitial() Machine { return alpha.New(alpha.SimInitial()) }
+func SimInitial() Machine { return model.MustNew("sim-initial") }
 
 // SimStripped returns sim-alpha with the seven performance features
 // and three clock-rate constraints removed (Section 5.1).
-func SimStripped() Machine { return alpha.New(alpha.SimStripped()) }
+func SimStripped() Machine { return model.MustNew("sim-stripped") }
 
 // SimOutorder returns the SimpleScalar-style RUU simulator.
-func SimOutorder() Machine { return ruu.New(ruu.DefaultConfig()) }
+func SimOutorder() Machine { return model.MustNew("sim-outorder") }
 
 // NativeDS10L returns the reference machine standing in for the
 // paper's Compaq DS-10L workstation, measured through the emulated
 // DCPI sampling profiler.
-func NativeDS10L() Machine { return native.New() }
+func NativeDS10L() Machine { return model.MustNew("native-ds10l") }
 
 // SimInorder returns a single-issue, in-order, blocking-cache model
 // (a Mipsy-class simulator), extending the paper's comparison set
 // with the simplest credible timing model.
-func SimInorder() Machine { return inorder.New(inorder.DefaultConfig()) }
+func SimInorder() Machine { return model.MustNew("sim-inorder") }
+
+// SimInterval returns the analytical interval-model estimator: one
+// functional pass counting miss events, cycles derived in closed
+// form. The cheapest fidelity tier — see the stability experiment for
+// where its conclusions diverge from the detailed model's.
+func SimInterval() Machine { return model.MustNew("sim-interval") }
+
+// Backend describes one registered timing model: name, description,
+// fidelity tier, and discovered capability flags.
+type Backend = model.Descriptor
+
+// Backends returns every registered timing model, reference machine
+// first, then the simulators in decreasing fidelity order.
+func Backends() []Backend { return model.Backends() }
+
+// NewMachine constructs a machine by backend name ("sim-alpha",
+// "native-ds10l", ...; the bare model name is accepted, so "interval"
+// resolves to "sim-interval"). Unknown names return an error wrapping
+// model.ErrUnknownBackend.
+func NewMachine(name string) (Machine, error) { return model.New(name) }
 
 // FeatureNames lists the ten 21264 features of Tables 4 and 5:
 // addr, eret, luse, pref, spec, stwt, vbuf, maps, slot, trap.
-func FeatureNames() []string {
-	out := make([]string, len(alpha.FeatureNames))
-	copy(out, alpha.FeatureNames)
-	return out
-}
+func FeatureNames() []string { return model.AlphaFeatures() }
 
 // SimAlphaTraced returns the validated simulator with a pipeline
 // event trace: one line per retired instruction (fetch/map/issue/
 // complete/retire cycles), the counterpart of SimpleScalar's ptrace.
 func SimAlphaTraced(w io.Writer) Machine {
-	cfg := alpha.DefaultConfig()
-	cfg.PipeTracer = alpha.PipeTraceWriter(w)
-	return alpha.New(cfg)
+	cfg := model.DefaultAlphaConfig()
+	cfg.PipeTracer = model.AlphaPipeTraceWriter(w)
+	return model.NewAlpha(cfg)
 }
 
 // SimAlphaWithout returns sim-alpha with one named feature disabled.
 // It panics on an unknown feature name; see FeatureNames.
 func SimAlphaWithout(feature string) Machine {
-	return alpha.New(alpha.DefaultConfig().WithoutFeature(feature))
+	return model.NewAlpha(model.DefaultAlphaConfig().WithoutFeature(feature))
 }
 
 // Microbenchmarks returns the paper's 21-benchmark validation suite
