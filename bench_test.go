@@ -10,7 +10,9 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/model"
 	"repro/internal/validate"
+	"repro/internal/workgen"
 )
 
 // benchOpt truncates each workload; experiments still run every
@@ -200,6 +202,50 @@ func BenchmarkGccCheckpointSampled(b *testing.B) {
 	}
 	b.ReportMetric(float64(est.DetailedInstructions()), "detailed_insts")
 	b.ReportMetric(est.Speedup(), "speedup")
+}
+
+// BenchmarkWorkgenGenerate measures pure workload synthesis: spec to
+// assembled program, no simulation. Generation must stay cheap enough
+// to rebuild programs on every worker rather than ship code bytes.
+func BenchmarkWorkgenGenerate(b *testing.B) {
+	spec := DefaultWorkloadSpec()
+	spec.ConflictWays = 8
+	spec.TrapDensity = 2
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i + 1)
+		if _, err := GenerateWorkload(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCliffSweep measures one generated cliff family end-to-end:
+// synthesize the l1-size family against the sim-alpha geometry and
+// run every member on the detailed model — the unit of work the
+// attribution experiment fans out per family per tier.
+func BenchmarkCliffSweep(b *testing.B) {
+	cfg := model.DefaultAlphaConfig()
+	target := workgen.TargetFrom(cfg.Hier, cfg.Tour.LocalHistBits, cfg.IntIssueWidth)
+	var family WorkloadFamily
+	for _, f := range workgen.CliffSuite(target) {
+		if f.Name == "l1-size" {
+			family = f
+		}
+	}
+	ws, err := GenerateFamily(family)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := SimAlpha()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			w.MaxInstructions = 15_000
+			if _, err := m.Run(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // BenchmarkSimAlphaThroughput measures the simulator itself: dynamic

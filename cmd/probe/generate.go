@@ -1,0 +1,121 @@
+// The workload-generation subcommand: POST a workgen spec (or a whole
+// family) at the service and print what was minted. The flags mirror
+// the Spec axes one-to-one; -family/-axis/-levels switches to family
+// mode, sweeping one axis of the base spec across the given levels.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/workgen"
+)
+
+// post submits a JSON body and returns the response body, requiring
+// the given status.
+func (c *client) post(path string, want int, body []byte) ([]byte, error) {
+	resp, err := c.http.Post(c.base+path, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != want {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(out, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+	return out, nil
+}
+
+func cmdGenerate(c *client, args []string) error {
+	fs := flag.NewFlagSet("workloads generate", flag.ExitOnError)
+	spec := workgen.DefaultSpec()
+	fs.Uint64Var(&spec.Seed, "seed", spec.Seed, "generation seed")
+	fs.Int64Var(&spec.Iters, "iters", spec.Iters, "loop iterations")
+	fs.IntVar(&spec.BranchEntropy, "branch-entropy", spec.BranchEntropy, "taken probability of random branch sites, percent")
+	fs.IntVar(&spec.BranchPeriod, "branch-period", spec.BranchPeriod, "period of patterned branch sites")
+	fs.IntVar(&spec.WorkingSetKB, "working-set", spec.WorkingSetKB, "streamed working set, KB")
+	fs.IntVar(&spec.ChaseDepth, "chase-depth", spec.ChaseDepth, "dependent pointer-chase hops per iteration")
+	fs.IntVar(&spec.ILPWidth, "ilp", spec.ILPWidth, "independent ALU chains")
+	fs.IntVar(&spec.ConflictWays, "conflict-ways", spec.ConflictWays, "conflicting cache blocks cycled per iteration (0 = off)")
+	fs.IntVar(&spec.ConflictStrideKB, "conflict-stride", spec.ConflictStrideKB, "stride between conflicting blocks, KB")
+	fs.IntVar(&spec.ConflictDensity, "conflict-density", spec.ConflictDensity, "conflict rounds per iteration")
+	fs.IntVar(&spec.TrapDensity, "trap-density", spec.TrapDensity, "serializing traps per iteration")
+	family := fs.String("family", "", "mint a family with this name instead of a single spec")
+	axis := fs.String("axis", "", "family axis (one of: "+strings.Join(workgen.AxisNames(), ", ")+")")
+	levels := fs.String("levels", "", "comma-separated family levels for the axis")
+	asJSON := fs.Bool("json", false, "print the raw JSON mint response")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("workloads generate: unexpected arguments %v", fs.Args())
+	}
+
+	var req map[string]any
+	switch {
+	case *family == "" && (*axis != "" || *levels != ""):
+		return fmt.Errorf("workloads generate: -axis and -levels require -family")
+	case *family == "":
+		req = map[string]any{"spec": spec}
+	default:
+		var lv []int
+		for _, s := range strings.Split(*levels, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("workloads generate: level %q: %w", s, err)
+			}
+			lv = append(lv, n)
+		}
+		req = map[string]any{"family": workgen.Family{
+			Name: *family, Base: spec, Axis: *axis, Levels: lv,
+		}}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	out, err := c.post("/v1/workloads/generate", http.StatusCreated, body)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		fmt.Println(strings.TrimSpace(string(out)))
+		return nil
+	}
+	var resp struct {
+		Workloads []struct {
+			Name   string `json:"name"`
+			Family string `json:"family"`
+			Axis   string `json:"axis"`
+			Level  int    `json:"level"`
+			Minted bool   `json:"minted"`
+		} `json:"workloads"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return err
+	}
+	for _, w := range resp.Workloads {
+		status := "minted"
+		if !w.Minted {
+			status = "exists"
+		}
+		if w.Family != "" {
+			fmt.Printf("%-40s %-8s %s %s=%d\n", w.Name, status, w.Family, w.Axis, w.Level)
+		} else {
+			fmt.Printf("%-40s %-8s\n", w.Name, status)
+		}
+	}
+	return nil
+}

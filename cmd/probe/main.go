@@ -21,6 +21,9 @@
 //	                                          poll it to completion
 //	machines [-json]                          list served machine models
 //	workloads [-json]                         list served workloads
+//	workloads generate [-seed N] [-iters N] [axis flags...]
+//	    [-family NAME -axis AXIS -levels v1,v2,...] [-json]
+//	                                          mint generated workloads on the service
 //	health                                    check /healthz
 //	metrics                                   dump /metrics
 //
@@ -85,6 +88,9 @@ commands:
                                             and poll it to completion
   machines [-json]                          list served machine models
   workloads [-json]                         list served workloads
+  workloads generate [-seed N] [-iters N] [axis flags...]
+      [-family NAME -axis AXIS -levels v1,v2,...] [-json]
+                                            mint generated workloads on the service
   health                                    check /healthz
   metrics                                   dump /metrics
 `)
@@ -353,6 +359,9 @@ func cmdMachines(c *client, args []string) error {
 }
 
 func cmdWorkloads(c *client, args []string) error {
+	if len(args) > 0 && args[0] == "generate" {
+		return cmdGenerate(c, args[1:])
+	}
 	fs := flag.NewFlagSet("workloads", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "print the raw JSON catalogue")
 	fs.Parse(args)
@@ -368,12 +377,19 @@ func cmdWorkloads(c *client, args []string) error {
 		Name     string `json:"name"`
 		Category string `json:"category"`
 		Suite    string `json:"suite"`
+		Family   string `json:"family"`
+		Axis     string `json:"axis"`
+		Level    int    `json:"level"`
 	}
 	if err := json.Unmarshal(body, &workloads); err != nil {
 		return err
 	}
 	for _, w := range workloads {
-		fmt.Printf("%-10s %-12s %s\n", w.Name, w.Suite, w.Category)
+		fmt.Printf("%-40s %-12s %-10s", w.Name, w.Suite, w.Category)
+		if w.Family != "" {
+			fmt.Printf(" %s %s=%d", w.Family, w.Axis, w.Level)
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //	simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]
 //	     [-sweep-points N] [-sweep-jobs N] [-sweep-history N]
 //	     [-workers host:port,host:port] [-steal-after D] [-store DIR]
+//	     [-max-generated N]
 //
 // With -workers, simd is a coordinator: it shards simulation cells
 // (run, sweep, and sampled requests) over the listed workers — each a
@@ -25,6 +26,7 @@
 //	GET /v1/sweep           GET /v1/sweep/{id}           DELETE /v1/sweep/{id}
 //	GET /v1/machines
 //	GET /v1/workloads
+//	POST /v1/workloads/generate   (mint generated workloads from a workgen spec)
 //	GET /healthz
 //	GET /metrics            (text; ?format=json for JSON)
 //
@@ -60,11 +62,13 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated worker addresses to dispatch cells to")
 	stealAfter := flag.Duration("steal-after", 0, "straggler timeout before a cell is stolen to another worker (0 = 15s)")
 	store := flag.String("store", "", "on-disk result/checkpoint store directory (empty = memory only)")
+	maxGenerated := flag.Int("max-generated", 0, "generated workloads mintable per process (0 = 256)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: simd [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-j N]\n"+
 				"            [-sweep-points N] [-sweep-jobs N] [-sweep-history N]\n"+
-				"            [-workers host:port,host:port] [-steal-after D] [-store DIR]\n")
+				"            [-workers host:port,host:port] [-steal-after D] [-store DIR]\n"+
+				"            [-max-generated N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,6 +89,7 @@ func main() {
 		MaxSweepJobs:   *sweepJobs,
 		SweepHistory:   *sweepHistory,
 		StealAfter:     *stealAfter,
+		MaxGenerated:   *maxGenerated,
 	}
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sweep"
+	"repro/internal/workgen"
 )
 
 // cellRequest is the POST /v1/cell body: one simulation cell by
@@ -50,6 +51,11 @@ type cellRequest struct {
 	Limit    uint64           `json:"limit,omitempty"`
 	Sample   *core.SamplePlan `json:"sample,omitempty"`
 	Axes     []sweepAxis      `json:"axes,omitempty"`
+	// Generate carries a minted workload's generation spec: the worker
+	// regenerates the program deterministically from the spec (minted
+	// catalogues are per-process, so the name alone would not resolve
+	// remotely — and generation is cheaper than shipping programs).
+	Generate *workgen.Spec `json:"generate,omitempty"`
 }
 
 // handleCell is POST /v1/cell, the worker side of the distributed
@@ -66,10 +72,32 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "unknown machine %q", req.Machine)
 		return
 	}
-	wl, ok := s.byWork[req.Workload]
-	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown workload %q", req.Workload)
-		return
+	var wl workloadSpec
+	if req.Generate != nil {
+		if err := req.Generate.Check(); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		wk, err := workgen.Generate(*req.Generate)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "generate: %v", err)
+			return
+		}
+		if req.Workload != "" && req.Workload != wk.Name {
+			s.fail(w, http.StatusBadRequest, "workload %q does not match generated name %q",
+				req.Workload, wk.Name)
+			return
+		}
+		wl = workloadSpec{w: wk, suite: "generated", gen: req.Generate}
+	} else {
+		var ok bool
+		s.wlMu.RLock()
+		wl, ok = s.byWork[req.Workload]
+		s.wlMu.RUnlock()
+		if !ok {
+			s.fail(w, http.StatusNotFound, "unknown workload %q", req.Workload)
+			return
+		}
 	}
 	cfg := spec.Config
 	if len(req.Axes) > 0 {
@@ -144,6 +172,13 @@ func (s *Server) runCell(spec model.Descriptor, work core.Workload) (core.RunRes
 			Limit:    work.MaxInstructions,
 			Sample:   work.Sample,
 		}
+		// A minted workload travels as its generation spec so the
+		// worker can rebuild it without sharing our catalogue.
+		s.wlMu.RLock()
+		if wl, ok := s.byWork[work.Name]; ok && wl.gen != nil {
+			req.Generate = wl.gen
+		}
+		s.wlMu.RUnlock()
 		// context.Background: like a local computation, a dispatched
 		// cell outlives its request deadline to populate the cache.
 		if body, err := s.dispatch.run(context.Background(), req); err == nil {

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/workgen"
 )
 
 // newWorker boots a worker-shaped server (a full Server; the
@@ -266,5 +268,65 @@ func TestRunDispatch(t *testing.T) {
 	// metrics live on the coordinator that served the response.
 	if n := coord.Metrics().Counter("sample_runs_total").Value(); n != 1 {
 		t.Fatalf("coordinator sample_runs_total = %d, want 1", n)
+	}
+}
+
+// TestDispatchGeneratedCell checks minted workloads ride the worker
+// tier: the worker has no minted catalogue, so the cell carries the
+// generation spec and the worker rebuilds the program from it,
+// byte-identical to the coordinator running it alone.
+func TestDispatchGeneratedCell(t *testing.T) {
+	_, solo := newTestServer(t)
+	w1, wts1 := newWorker(t)
+	coord, cts := newCoordinator(t, 30*time.Second, wts1.URL)
+
+	spec := workgen.DefaultSpec()
+	spec.Iters = 300
+	body := specBody(t, spec)
+	for _, u := range []string{solo.URL, cts.URL} {
+		if code, _ := postGenerate(t, u, body); code != http.StatusCreated {
+			t.Fatalf("mint on %s = %d", u, code)
+		}
+	}
+
+	q := "/v1/run?machine=sim-alpha&workload=" + spec.Name() + "&limit=3000"
+	code, _, want := get(t, solo.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("single-node GET %s = %d: %s", q, code, want)
+	}
+	code, _, got := get(t, cts.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("dispatched GET %s = %d: %s", q, code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("dispatched generated run diverged:\n%s\nvs\n%s", want, got)
+	}
+	if n := coord.Metrics().Counter("cells_simulated_total").Value(); n != 0 {
+		t.Fatalf("coordinator simulated %d cells itself", n)
+	}
+	if n := w1.Metrics().Counter("cells_simulated_total").Value(); n != 1 {
+		t.Fatalf("worker simulated %d cells, want 1", n)
+	}
+
+	// A raw cell with a spec but no prior mint works too (the worker
+	// path), and a name mismatch is rejected.
+	sb, _ := json.Marshal(spec)
+	cell := `{"machine": "sim-alpha", "workload": "` + spec.Name() + `", "limit": 3000, "generate": ` + string(sb) + `}`
+	resp, err := http.Post(wts1.URL+"/v1/cell", "application/json", strings.NewReader(cell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cell with generate spec = %d", resp.StatusCode)
+	}
+	bad := `{"machine": "sim-alpha", "workload": "wg-wrong-name", "limit": 3000, "generate": ` + string(sb) + `}`
+	resp, err = http.Post(wts1.URL+"/v1/cell", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("cell accepted a generate spec under the wrong workload name")
 	}
 }

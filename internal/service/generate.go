@@ -1,0 +1,148 @@
+// Workload minting: POST /v1/workloads/generate turns a workgen Spec
+// (or a whole Family) into catalogue entries addressable by /v1/run,
+// /v1/sweep, and sampling, exactly like builtins. Minting is
+// idempotent — re-posting a spec that is already minted succeeds
+// without a second entry — but a name that collides with a
+// non-generated catalogue entry is rejected with ErrWorkloadExists:
+// generated names must never shadow builtins.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/workgen"
+)
+
+// ErrWorkloadExists reports a minted name colliding with an existing
+// non-generated workload. Served as 409 Conflict.
+var ErrWorkloadExists = errors.New("workload already exists in the catalogue")
+
+// generateRequest is the body of POST /v1/workloads/generate: exactly
+// one of Spec (mint one workload) or Family (mint every member).
+type generateRequest struct {
+	Spec   *workgen.Spec   `json:"spec,omitempty"`
+	Family *workgen.Family `json:"family,omitempty"`
+}
+
+// mintedInfo describes one minted workload in the response.
+type mintedInfo struct {
+	Name   string `json:"name"`
+	Family string `json:"family,omitempty"`
+	Axis   string `json:"axis,omitempty"`
+	Level  int    `json:"level,omitempty"`
+	// Minted is false when the workload was already in the catalogue
+	// (idempotent re-mint).
+	Minted bool `json:"minted"`
+}
+
+// generateResponse is the body of a successful mint.
+type generateResponse struct {
+	Workloads []mintedInfo `json:"workloads"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	switch {
+	case req.Spec == nil && req.Family == nil:
+		s.fail(w, http.StatusBadRequest, "one of spec or family is required")
+		return
+	case req.Spec != nil && req.Family != nil:
+		s.fail(w, http.StatusBadRequest, "spec and family are mutually exclusive")
+		return
+	}
+
+	// Resolve the mint set before touching the catalogue.
+	type member struct {
+		spec  workgen.Spec
+		fam   string
+		axis  string
+		level int
+	}
+	var members []member
+	if req.Spec != nil {
+		if err := req.Spec.Check(); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		members = []member{{spec: *req.Spec}}
+	} else {
+		f := *req.Family
+		if err := f.Check(); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		specs, err := f.Specs()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for i, sp := range specs {
+			members = append(members, member{spec: sp, fam: f.Name, axis: f.Axis, level: f.Levels[i]})
+		}
+	}
+
+	resp := generateResponse{}
+	for _, m := range members {
+		wk, err := workgen.Generate(m.spec)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "generate %s: %v", m.spec.Name(), err)
+			return
+		}
+		minted, err := s.mint(wk, m.spec, m.fam, m.axis, m.level)
+		if err != nil {
+			code := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrWorkloadExists):
+				code = http.StatusConflict
+			case errors.Is(err, errMintBudget):
+				code = http.StatusTooManyRequests
+			}
+			s.fail(w, code, "%v", err)
+			return
+		}
+		resp.Workloads = append(resp.Workloads, mintedInfo{
+			Name: wk.Name, Family: m.fam, Axis: m.axis, Level: m.level, Minted: minted,
+		})
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// errMintBudget reports the per-process mint budget being exhausted.
+// Served as 429.
+var errMintBudget = errors.New("generated-workload budget exhausted")
+
+// mint adds one generated workload to the catalogue. It reports
+// whether a new entry was created: re-minting an identical generated
+// spec is a no-op, while any collision with a non-generated entry is
+// ErrWorkloadExists.
+func (s *Server) mint(wk core.Workload, spec workgen.Spec, fam, axis string, level int) (bool, error) {
+	s.wlMu.Lock()
+	defer s.wlMu.Unlock()
+	if prev, ok := s.byWork[wk.Name]; ok {
+		if prev.gen == nil {
+			return false, fmt.Errorf("%w: %q is a builtin (%s suite)", ErrWorkloadExists, wk.Name, prev.suite)
+		}
+		// Same name ⇒ same spec ⇒ same program: idempotent.
+		return false, nil
+	}
+	if s.nGenerated >= s.cfg.MaxGenerated {
+		return false, fmt.Errorf("%w: %d of %d minted", errMintBudget, s.nGenerated, s.cfg.MaxGenerated)
+	}
+	sp := spec
+	s.byWork[wk.Name] = workloadSpec{
+		w: wk, suite: "generated", gen: &sp,
+		family: fam, axis: axis, level: level,
+	}
+	s.wlOrder = append(s.wlOrder, wk.Name)
+	s.nGenerated++
+	s.metrics.Counter("workgen_minted_total").Inc()
+	return true, nil
+}

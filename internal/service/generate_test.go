@@ -1,0 +1,319 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simcache"
+	"repro/internal/workgen"
+)
+
+// postGenerate submits a mint request and returns the status and
+// decoded response (zero on error statuses).
+func postGenerate(t *testing.T, url, body string) (int, generateResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/workloads/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out generateResponse
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func specBody(t *testing.T, s workgen.Spec) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Spec workgen.Spec `json:"spec"`
+	}{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestGenerateMintRunAndCacheNamespace is the tentpole's service
+// acceptance path: a posted spec becomes a catalogue entry runnable on
+// multiple backends, cached under the workgen/v1 namespace whose keys
+// can never collide with a builtin's run/v1 keys.
+func TestGenerateMintRunAndCacheNamespace(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	spec := workgen.DefaultSpec()
+	spec.Iters = 300
+	code, out := postGenerate(t, ts.URL, specBody(t, spec))
+	if code != http.StatusCreated {
+		t.Fatalf("POST generate = %d", code)
+	}
+	if len(out.Workloads) != 1 || !out.Workloads[0].Minted || out.Workloads[0].Name != spec.Name() {
+		t.Fatalf("mint response = %+v, want one minted %q", out.Workloads, spec.Name())
+	}
+	if got := s.Metrics().Counter("workgen_minted_total").Value(); got != 1 {
+		t.Fatalf("workgen_minted_total = %d, want 1", got)
+	}
+
+	// Re-posting the identical spec is idempotent: no new entry, no
+	// counter bump.
+	code, out = postGenerate(t, ts.URL, specBody(t, spec))
+	if code != http.StatusCreated || len(out.Workloads) != 1 || out.Workloads[0].Minted {
+		t.Fatalf("re-mint = %d %+v, want 201 with minted=false", code, out.Workloads)
+	}
+	if got := s.Metrics().Counter("workgen_minted_total").Value(); got != 1 {
+		t.Fatalf("workgen_minted_total after re-mint = %d, want 1", got)
+	}
+
+	// The catalogue lists the minted entry as generated.
+	_, _, body := get(t, ts.URL+"/v1/workloads")
+	var infos []workloadInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, wi := range infos {
+		if wi.Name == spec.Name() {
+			found = true
+			if !wi.Generated || wi.Suite != "generated" {
+				t.Errorf("minted listing = %+v, want generated", wi)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("minted workload %q missing from /v1/workloads", spec.Name())
+	}
+
+	// Runnable on two backends of different tiers, with distinct keys.
+	keys := map[string]bool{}
+	for _, machine := range []string{"sim-alpha", "sim-interval"} {
+		code, hdr, body := get(t, fmt.Sprintf("%s/v1/run?machine=%s&workload=%s&limit=3000",
+			ts.URL, machine, spec.Name()))
+		if code != http.StatusOK {
+			t.Fatalf("run %s/%s = %d: %s", machine, spec.Name(), code, body)
+		}
+		var rr RunResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.CPI <= 0 {
+			t.Errorf("%s cpi = %v, want > 0", machine, rr.CPI)
+		}
+		keys[hdr.Get("X-Simcache-Key")] = true
+	}
+	if len(keys) != 2 {
+		t.Fatalf("backends shared a cache key: %v", keys)
+	}
+
+	// The namespace split itself: for identical config and workload
+	// fingerprints, the generated key can never equal a builtin key.
+	cfgFP := simcache.Fingerprint(struct{ X int }{1})
+	workID := simcache.Fingerprint(struct{ Y int }{2})
+	if simcache.KeyOf("workgen/v1", cfgFP, workID) == simcache.KeyOf("run/v1", cfgFP, workID) {
+		t.Fatal("workgen/v1 and run/v1 namespaces collide for identical inputs")
+	}
+}
+
+// TestGenerateSampledRun exercises a sampled run of a minted workload
+// on a samplable backend: it must succeed and live under a key
+// distinct from the full-run key.
+func TestGenerateSampledRun(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	spec := workgen.DefaultSpec()
+	spec.Iters = 2000
+	if code, _ := postGenerate(t, ts.URL, specBody(t, spec)); code != http.StatusCreated {
+		t.Fatalf("mint = %d", code)
+	}
+	base := fmt.Sprintf("%s/v1/run?machine=sim-alpha&workload=%s&limit=20000", ts.URL, spec.Name())
+	code, hdr, body := get(t, base)
+	if code != http.StatusOK {
+		t.Fatalf("full run = %d: %s", code, body)
+	}
+	fullKey := hdr.Get("X-Simcache-Key")
+
+	code, hdr, body = get(t, base+"&sample=true&sample_period=5000&sample_warmup=500&sample_measure=500")
+	if code != http.StatusOK {
+		t.Fatalf("sampled run = %d: %s", code, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Sampled == nil || rr.Sampled.Intervals == 0 {
+		t.Fatalf("sampled run returned no sampling info: %+v", rr)
+	}
+	if hdr.Get("X-Simcache-Key") == fullKey {
+		t.Fatal("sampled and full runs share a cache key")
+	}
+}
+
+// TestGenerateBuiltinCollision pins the ErrWorkloadExists guard: a
+// generated name may never shadow a non-generated catalogue entry.
+func TestGenerateBuiltinCollision(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Plant a builtin-looking entry under the name the spec would mint
+	// (no builtin naturally starts with "wg-", so the collision is
+	// simulated white-box).
+	spec := workgen.DefaultSpec()
+	spec.Seed = 99
+	s.wlMu.Lock()
+	prev := s.byWork[spec.Name()]
+	prev.suite = "micro"
+	prev.gen = nil
+	s.byWork[spec.Name()] = prev
+	s.wlMu.Unlock()
+
+	resp, err := http.Post(ts.URL+"/v1/workloads/generate", "application/json",
+		strings.NewReader(specBody(t, spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("collision mint = %d (%s), want 409", resp.StatusCode, e.Error)
+	}
+	if !strings.Contains(e.Error, "already exists") || !strings.Contains(e.Error, "builtin") {
+		t.Fatalf("collision error = %q, want ErrWorkloadExists text", e.Error)
+	}
+}
+
+// TestGenerateBudget pins the 429 mint bound.
+func TestGenerateBudget(t *testing.T) {
+	s := New(Config{
+		CacheEntries:   16,
+		MaxConcurrent:  2,
+		RequestTimeout: 30 * time.Second,
+		Parallelism:    1,
+		MaxGenerated:   1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	first := workgen.DefaultSpec()
+	if code, _ := postGenerate(t, ts.URL, specBody(t, first)); code != http.StatusCreated {
+		t.Fatalf("first mint = %d", code)
+	}
+	second := first
+	second.Seed = 2
+	resp, err := http.Post(ts.URL+"/v1/workloads/generate", "application/json",
+		strings.NewReader(specBody(t, second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget mint = %d, want 429", resp.StatusCode)
+	}
+	// Re-minting the first spec stays idempotent even at the bound.
+	if code, out := postGenerate(t, ts.URL, specBody(t, first)); code != http.StatusCreated || out.Workloads[0].Minted {
+		t.Fatalf("idempotent re-mint at bound = %d %+v", code, out.Workloads)
+	}
+}
+
+// TestGenerateValidation pins the 400 paths.
+func TestGenerateValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"empty":        `{}`,
+		"both":         `{"spec":{},"family":{"name":"x","axis":"ilp-width","levels":[1,2]}}`,
+		"bad-spec":     `{"spec":{"iters":-5}}`,
+		"bad-family":   `{"family":{"name":"x","axis":"frobnication","levels":[1,2]}}`,
+		"invalid-json": `{`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/workloads/generate", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("POST %s = %d, want 400", name, resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestGenerateFamilyMintAndSweep mints a whole family, then sweeps an
+// axis over a second family generated inline by the sweep job itself.
+func TestGenerateFamilyMintAndSweep(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	base := workgen.DefaultSpec()
+	base.Iters = 300
+	fam := workgen.Family{
+		Name: "ws-mini", Base: base,
+		Axis: workgen.AxisWorkingSet, Levels: []int{8, 16, 32},
+	}
+	famJSON, err := json.Marshal(struct {
+		Family workgen.Family `json:"family"`
+	}{fam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out := postGenerate(t, ts.URL, string(famJSON))
+	if code != http.StatusCreated || len(out.Workloads) != 3 {
+		t.Fatalf("family mint = %d with %d workloads, want 201 with 3", code, len(out.Workloads))
+	}
+	for i, wi := range out.Workloads {
+		if wi.Family != "ws-mini" || wi.Axis != workgen.AxisWorkingSet || wi.Level != fam.Levels[i] {
+			t.Errorf("member %d = %+v, want family/axis/level set", i, wi)
+		}
+	}
+
+	// Sweep over two minted members by name plus an inline family the
+	// job generates itself. The inline ILP family's level-4 member IS
+	// the base spec (same name as the minted working-set level-16
+	// member), so the named picks skip level 16 to stay disjoint.
+	inline := fam
+	inline.Name = "ilp-mini"
+	inline.Axis = workgen.AxisILPWidth
+	inline.Levels = []int{1, 2, 4}
+	sweepBody, err := json.Marshal(map[string]any{
+		"machine": "sim-alpha",
+		"axes": []map[string]any{
+			{"name": "issue", "field": "IntIssueWidth", "values": []int{4, 2}},
+		},
+		"workloads": []string{out.Workloads[0].Name, out.Workloads[2].Name},
+		"generate":  inline,
+		"limit":     3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, info := postSweep(t, ts.URL, string(sweepBody))
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweep = %d", code)
+	}
+	done := waitSweep(t, ts.URL, info.ID)
+	if done.Status != sweepDone {
+		t.Fatalf("sweep = %q (%s), want done", done.Status, done.Error)
+	}
+	if len(done.Result.Points) != 2 {
+		t.Fatalf("sweep has %d points, want 2", len(done.Result.Points))
+	}
+	for _, p := range done.Result.Points {
+		if len(p.Cells) != 5 { // 2 minted members + 3 inline members
+			t.Fatalf("point %q has %d cells, want 5", p.Label, len(p.Cells))
+		}
+		for _, c := range p.Cells {
+			if c.Instructions == 0 || c.Cycles == 0 {
+				t.Fatalf("point %q cell %q is empty", p.Label, c.Workload)
+			}
+		}
+	}
+}

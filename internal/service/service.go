@@ -43,12 +43,21 @@ import (
 	"repro/internal/sample"
 	"repro/internal/simcache"
 	"repro/internal/validate"
+	"repro/internal/workgen"
 )
 
 // workloadSpec is one addressable workload with its catalogue entry.
 type workloadSpec struct {
 	w     core.Workload
-	suite string // "micro", "macro", "calibration"
+	suite string // "micro", "macro", "calibration", "generated"
+	// gen is the generation spec of a minted workload (nil for
+	// builtins). Workers regenerate dispatched cells from it instead
+	// of receiving program bytes.
+	gen *workgen.Spec
+	// family/axis/level place a member minted via family generation.
+	family string
+	axis   string
+	level  int
 }
 
 // defaultWorkloads catalogues the 21 microbenchmarks, the two
@@ -115,6 +124,10 @@ type Config struct {
 	// result cache — typically a diskstore.Store, so results survive
 	// restarts and can be shared between coordinator and workers.
 	Tier2 simcache.Tier2
+	// MaxGenerated bounds how many generated workloads may be minted
+	// into this process's catalogue via POST /v1/workloads/generate
+	// (0 = 256). Submissions over the bound fail with 429.
+	MaxGenerated int
 }
 
 // Server implements the simulation service. Create with New, mount
@@ -125,11 +138,18 @@ type Server struct {
 	metrics   *metrics.Registry
 	machines  []model.Descriptor
 	byMachine map[string]model.Descriptor
-	wlOrder   []string
-	byWork    map[string]workloadSpec
-	sem       chan struct{}
-	dispatch  *dispatcher // nil unless Config.Workers is non-empty
-	latency   *metrics.Histogram
+
+	// The workload catalogue: builtins at construction, plus minted
+	// generated workloads (see generate.go). wlMu guards both; minted
+	// entries append to wlOrder in mint order.
+	wlMu       sync.RWMutex
+	wlOrder    []string
+	byWork     map[string]workloadSpec
+	nGenerated int
+
+	sem      chan struct{}
+	dispatch *dispatcher // nil unless Config.Workers is non-empty
+	latency  *metrics.Histogram
 	// sampleIntervals distributes measured-interval counts of
 	// cold sampled runs.
 	sampleIntervals *metrics.Histogram
@@ -159,6 +179,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.SweepHistory <= 0 {
 		cfg.SweepHistory = 64
+	}
+	if cfg.MaxGenerated <= 0 {
+		cfg.MaxGenerated = 256
 	}
 	machines := cfg.Machines
 	if machines == nil {
@@ -205,6 +228,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", s.metricsHandler())
 	mux.HandleFunc("GET /v1/machines", s.timed("machines", s.handleMachines))
 	mux.HandleFunc("GET /v1/workloads", s.timed("workloads", s.handleWorkloads))
+	mux.HandleFunc("POST /v1/workloads/generate", s.timed("generate", s.handleGenerate))
 	mux.HandleFunc("GET /v1/run", s.timed("run", s.handleRun))
 	mux.HandleFunc("POST /v1/run", s.timed("run", s.handleRun))
 	mux.HandleFunc("POST /v1/cell", s.timed("cell", s.handleCell))
@@ -315,14 +339,26 @@ type workloadInfo struct {
 	Name     string `json:"name"`
 	Category string `json:"category"`
 	Suite    string `json:"suite"`
+	// Generated marks minted workloads; Family/Axis/Level place a
+	// member of a generated family (axis value the member pins).
+	Generated bool   `json:"generated,omitempty"`
+	Family    string `json:"family,omitempty"`
+	Axis      string `json:"axis,omitempty"`
+	Level     int    `json:"level,omitempty"`
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	s.wlMu.RLock()
 	out := make([]workloadInfo, 0, len(s.wlOrder))
 	for _, name := range s.wlOrder {
 		spec := s.byWork[name]
-		out = append(out, workloadInfo{Name: name, Category: spec.w.Category, Suite: spec.suite})
+		out = append(out, workloadInfo{
+			Name: name, Category: spec.w.Category, Suite: spec.suite,
+			Generated: spec.gen != nil,
+			Family:    spec.family, Axis: spec.axis, Level: spec.level,
+		})
 	}
+	s.wlMu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -469,7 +505,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			"backend %q does not support interval sampling (tier %s)", spec.Name, spec.Tier)
 		return
 	}
+	s.wlMu.RLock()
 	wl, ok := s.byWork[p.Workload]
+	s.wlMu.RUnlock()
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown workload %q (see /v1/workloads)", p.Workload)
 		return
@@ -490,6 +528,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Max         uint64
 		Category    string
 	}{work.Name, work.FastForward, work.MaxInstructions, work.Category})
+	// Generated workloads live under their own workgen/v1 namespace —
+	// builtin run/v1 and sample/v1 key bytes are untouched by minting,
+	// and a generated result can never alias a builtin one even if a
+	// name were reused.
 	var key simcache.Key
 	if p.Sample {
 		plan := p.samplePlan(work.MaxInstructions)
@@ -498,11 +540,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		work.Sample = &plan
+		if wl.gen != nil {
+			key = simcache.KeyOf(
+				"workgen/v1", "sample",
+				simcache.Fingerprint(spec.Config),
+				workID,
+				simcache.Fingerprint(plan),
+			)
+		} else {
+			key = simcache.KeyOf(
+				"sample/v1",
+				simcache.Fingerprint(spec.Config),
+				workID,
+				simcache.Fingerprint(plan),
+			)
+		}
+	} else if wl.gen != nil {
 		key = simcache.KeyOf(
-			"sample/v1",
+			"workgen/v1",
 			simcache.Fingerprint(spec.Config),
 			workID,
-			simcache.Fingerprint(plan),
 		)
 	} else {
 		key = simcache.KeyOf(

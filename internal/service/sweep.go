@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/sweep"
+	"repro/internal/workgen"
 )
 
 // sweepAxis is one requested axis: a name, a dot-path into the
@@ -48,6 +49,11 @@ type sweepRequest struct {
 	Samples  int    `json:"samples,omitempty"`
 	// Workloads names the suite (default: the 21 microbenchmarks).
 	Workloads []string `json:"workloads,omitempty"`
+	// Generate expands a workgen family into additional suite members
+	// for this job only: the members are synthesized inline, not minted
+	// into the catalogue (POST /v1/workloads/generate does that). They
+	// may coexist with named Workloads in the same sweep.
+	Generate *workgen.Family `json:"generate,omitempty"`
 	// Limit caps dynamic instructions per cell (0 = workload length).
 	Limit uint64 `json:"limit,omitempty"`
 	// Analysis is "" (raw point results), "sensitivity", or
@@ -190,8 +196,12 @@ type sweepPlan struct {
 	pts       []sweep.Point // nil for calibration (descent enumerates)
 	strategy  string
 	workloads []core.Workload
-	refNew    func() core.Machine // nil unless an analysis needs it
-	points    int                 // planned point count (budget accounting)
+	// gen maps workload name → generation spec for suite members the
+	// job synthesized inline (req.Generate) or resolved to minted
+	// catalogue entries, so remote cells can rebuild them by spec.
+	gen    map[string]*workgen.Spec
+	refNew func() core.Machine // nil unless an analysis needs it
+	points int                 // planned point count (budget accounting)
 }
 
 // planSweep validates a request into an executable plan. Every error
@@ -242,26 +252,57 @@ func (s *Server) planSweep(req sweepRequest) (sweepPlan, int, error) {
 		return plan, http.StatusBadRequest, err
 	}
 
-	// The suite: named workloads in request order, or the full
-	// microbenchmark suite.
-	if len(req.Workloads) == 0 {
+	// The suite: named workloads in request order (or the full
+	// microbenchmark suite), plus any generated family expanded inline.
+	plan.gen = make(map[string]*workgen.Spec)
+	seen := make(map[string]bool, len(req.Workloads))
+	s.wlMu.RLock()
+	if len(req.Workloads) == 0 && req.Generate == nil {
 		for _, name := range s.wlOrder {
 			if spec := s.byWork[name]; spec.suite == "micro" {
 				plan.workloads = append(plan.workloads, spec.w)
 			}
 		}
 	} else {
-		seen := make(map[string]bool, len(req.Workloads))
 		for _, name := range req.Workloads {
 			spec, ok := s.byWork[name]
 			if !ok {
+				s.wlMu.RUnlock()
 				return plan, http.StatusNotFound, fmt.Errorf("unknown workload %q (see /v1/workloads)", name)
 			}
 			if seen[name] {
+				s.wlMu.RUnlock()
 				return plan, http.StatusBadRequest, fmt.Errorf("duplicate workload %q", name)
 			}
 			seen[name] = true
 			plan.workloads = append(plan.workloads, spec.w)
+			if spec.gen != nil {
+				plan.gen[name] = spec.gen
+			}
+		}
+	}
+	s.wlMu.RUnlock()
+	if req.Generate != nil {
+		f := *req.Generate
+		if err := f.Check(); err != nil {
+			return plan, http.StatusBadRequest, fmt.Errorf("generate: %w", err)
+		}
+		specs, err := f.Specs()
+		if err != nil {
+			return plan, http.StatusBadRequest, fmt.Errorf("generate: %w", err)
+		}
+		for _, sp := range specs {
+			wk, err := workgen.Generate(sp)
+			if err != nil {
+				return plan, http.StatusBadRequest, fmt.Errorf("generate %s: %w", sp.Name(), err)
+			}
+			if seen[wk.Name] {
+				return plan, http.StatusBadRequest, fmt.Errorf("duplicate workload %q (named and generated)", wk.Name)
+			}
+			seen[wk.Name] = true
+			sp := sp
+			plan.workloads = append(plan.workloads, wk)
+			plan.gen[wk.Name] = &sp
 		}
 	}
 
@@ -446,6 +487,10 @@ func (s *Server) runSweepJob(ctx context.Context, job *sweepJob, plan sweepPlan)
 				Limit:    w.MaxInstructions,
 				Sample:   w.Sample,
 				Axes:     axes,
+				// Generated members travel as their spec: the worker's
+				// catalogue has no minted entries, so it rebuilds the
+				// program deterministically from the spec.
+				Generate: plan.gen[w.Name],
 			})
 		}
 	}

@@ -32,6 +32,37 @@ func TestParallelMergeDeterminism(t *testing.T) {
 	}
 }
 
+// TestAttributionDeterminism holds the generated-workload experiment
+// to the same guarantee: generation is seeded from spec names, so the
+// whole pipeline — generate, run both tiers, detect cliffs — renders
+// byte-identically at any parallelism and across repeated runs.
+func TestAttributionDeterminism(t *testing.T) {
+	serial := quick
+	serial.Parallelism = 1
+	wide := quick
+	wide.Parallelism = 8
+
+	s, err := Attribution(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Attribution(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != w.String() {
+		t.Errorf("Attribution output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+			s.String(), w.String())
+	}
+	again, err := Attribution(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.String() != again.String() {
+		t.Errorf("Attribution output differs between repeated runs")
+	}
+}
+
 // TestSampledDeterminism holds sampled runs to the same guarantee:
 // the sampled experiment — interval schedules, warming, confidence
 // intervals and all — renders byte-identically at any parallelism and

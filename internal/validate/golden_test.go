@@ -124,6 +124,47 @@ func TestGoldenStability(t *testing.T) {
 	checkGolden(t, "stability", res.String())
 }
 
+// TestGoldenAttribution covers the single-feature attribution
+// experiment on generated cliff suites. Beyond byte-stability, the
+// blessed operating point must exhibit the experiment's acceptance
+// claims: the detailed tier localizes the L1-size cliff around the
+// 64 KB edge and the predictor cliff around the local-history alias
+// capacity, and at least one axis shows the analytical tier missing
+// or displacing a cliff.
+func TestGoldenAttribution(t *testing.T) {
+	res, err := Attribution(goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]AttributionFamily, len(res.Families))
+	for _, f := range res.Families {
+		byName[f.Name] = f
+	}
+
+	l1 := byName["l1-size"]
+	if c := l1.Detailed; !c.Found ||
+		c.Lo < res.Target.L1DKB/2 || c.Hi > 2*res.Target.L1DKB {
+		t.Errorf("detailed tier mislocalizes the L1-size cliff: %+v (edge %d KB)",
+			c, res.Target.L1DKB)
+	}
+	pred := byName["predictor"]
+	alias := res.Target.AliasCapacity()
+	if c := pred.Detailed; !c.Found || c.Lo > alias || c.Hi < alias {
+		t.Errorf("detailed tier mislocalizes the predictor cliff: %+v (alias capacity %d)",
+			c, alias)
+	}
+	misses := 0
+	for _, d := range res.Disagreements {
+		if f := byName[d.Family]; f.Verdict == "analytical-misses" || f.Verdict == "displaced" {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Errorf("no axis shows the analytical tier missing or displacing a cliff")
+	}
+	checkGolden(t, "attribution", res.String())
+}
+
 // checkGolden compares a rendering against its blessed file in
 // testdata/, rewriting the file under -update.
 func checkGolden(t *testing.T, name, got string) {

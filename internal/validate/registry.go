@@ -50,6 +50,8 @@ var registry = []Experiment{
 		func(o Options) (fmt.Stringer, error) { return Sampled(o) }},
 	{"stability", "Conclusion stability across fidelity tiers (detailed vs analytical)",
 		func(o Options) (fmt.Stringer, error) { return Stability(o) }},
+	{"attribution", "Single-feature attribution on generated cliff suites (detailed vs analytical)",
+		func(o Options) (fmt.Stringer, error) { return Attribution(o) }},
 }
 
 // Experiments returns every registered experiment in paper order.

@@ -1,0 +1,258 @@
+// Family and CliffSuite: structured sets of generated workloads. A
+// Family pins every axis of a base Spec and sweeps exactly one across
+// N levels — the single-feature-attribution shape: any behavior
+// change between adjacent members is attributable to that axis. A
+// CliffSuite is the set of families whose swept levels straddle a
+// target machine's discontinuities (cache capacity, set
+// associativity, predictor history capacity, issue width), so a
+// simulator under test either reproduces each cliff at the right
+// level or is caught missing/displacing it.
+package workgen
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Family sweeps one axis of a base spec across levels.
+type Family struct {
+	// Name labels the family in reports and catalogues ("l1-size").
+	Name string `json:"name"`
+	// Base is the pinned spec; the swept axis's base value is ignored.
+	Base Spec `json:"base"`
+	// Axis names the swept Spec field (see AxisNames).
+	Axis string `json:"axis"`
+	// Levels are the swept axis values, in sweep order.
+	Levels []int `json:"levels"`
+	// Edge describes the machine discontinuity the levels straddle
+	// (informational; set by CliffSuite).
+	Edge string `json:"edge,omitempty"`
+}
+
+// withAxis returns the spec with one named axis replaced.
+func (s Spec) withAxis(axis string, v int) (Spec, error) {
+	switch axis {
+	case AxisBranchEntropy:
+		s.BranchEntropy = v
+	case AxisBranchPeriod:
+		s.BranchPeriod = v
+	case AxisWorkingSet:
+		s.WorkingSetKB = v
+	case AxisChaseDepth:
+		s.ChaseDepth = v
+	case AxisILPWidth:
+		s.ILPWidth = v
+	case AxisConflictWays:
+		s.ConflictWays = v
+	case AxisConflictDensity:
+		s.ConflictDensity = v
+	case AxisTrapDensity:
+		s.TrapDensity = v
+	default:
+		return s, fmt.Errorf("workgen: unknown axis %q (have: %v)", axis, AxisNames())
+	}
+	return s, nil
+}
+
+// Check validates the family: a known axis, at least two levels, and
+// every member spec within generation bounds.
+func (f Family) Check() error {
+	if f.Name == "" {
+		return fmt.Errorf("workgen: family has no name")
+	}
+	if len(f.Levels) < 2 {
+		return fmt.Errorf("workgen: family %s has %d levels, want at least 2", f.Name, len(f.Levels))
+	}
+	seen := make(map[int]bool, len(f.Levels))
+	for _, v := range f.Levels {
+		if seen[v] {
+			return fmt.Errorf("workgen: family %s repeats level %d", f.Name, v)
+		}
+		seen[v] = true
+	}
+	_, err := f.Specs()
+	return err
+}
+
+// Specs expands the family into its member specs, in level order.
+func (f Family) Specs() ([]Spec, error) {
+	out := make([]Spec, len(f.Levels))
+	for i, v := range f.Levels {
+		s, err := f.Base.withAxis(f.Axis, v)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Check(); err != nil {
+			return nil, fmt.Errorf("workgen: family %s level %d: %w", f.Name, v, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Workloads generates every member, in level order.
+func (f Family) Workloads() ([]core.Workload, error) {
+	specs, err := f.Specs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Workload, len(specs))
+	for i, s := range specs {
+		w, err := Generate(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// CliffTarget is the machine geometry a cliff suite straddles,
+// distilled from a machine's config.
+type CliffTarget struct {
+	L1DKB         int // L1 D-cache capacity (KB)
+	L1DAssoc      int // L1 D-cache set associativity
+	L1DWayKB      int // L1 D-cache way size (KB): the set-conflict stride
+	L2KB          int // L2 capacity (KB)
+	VictimEntries int // L1D victim buffer entries (detailed tier only)
+	PageKB        int // VM page size (KB); frames allocate densely
+	LocalHistBits int // branch predictor local history length
+	IssueWidth    int // machine issue width
+}
+
+// TargetFrom derives the cliff target from a memory hierarchy plus
+// the predictor history length and issue width of the machine under
+// study.
+func TargetFrom(h cache.HierarchyConfig, localHistBits, issueWidth int) CliffTarget {
+	assoc := h.L1D.Assoc
+	if assoc < 1 {
+		assoc = 1
+	}
+	return CliffTarget{
+		L1DKB:         h.L1D.SizeBytes >> 10,
+		L1DAssoc:      assoc,
+		L1DWayKB:      h.L1D.SizeBytes / assoc >> 10,
+		L2KB:          h.L2.SizeBytes >> 10,
+		VictimEntries: h.VictimEntries,
+		PageKB:        vm.PageSize >> 10,
+		LocalHistBits: localHistBits,
+		IssueWidth:    issueWidth,
+	}
+}
+
+// ConflictCapacity is how many page-spaced conflicting blocks the L1D
+// absorbs before thrashing, excluding the victim buffer. Virtual
+// conflict strides collapse to page-stride physical addresses under
+// the sequential first-touch mapper, so each L1D set receives one
+// block per (way size / page size) — the capacity in blocks is the
+// associativity times that ratio, not the bare associativity.
+func (t CliffTarget) ConflictCapacity() int {
+	perSet := t.L1DWayKB / t.PageKB
+	if perSet < 1 {
+		perSet = 1
+	}
+	return t.L1DAssoc * perSet
+}
+
+// AliasCapacity is the branch-pattern period at which a local history
+// of LocalHistBits bits starts aliasing: distinct history windows of a
+// period-P pattern stay mostly unique while P^2 < 2^(bits+1)
+// (birthday bound), so the capacity is sqrt(2^(bits+1)).
+func (t CliffTarget) AliasCapacity() int {
+	n := 1 << (t.LocalHistBits + 1)
+	r := 1
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// cliffIters bounds a full-length cliff run (~1.5M dynamic
+// instructions at the default body); experiments truncate further via
+// their Options.Limit.
+const cliffIters = 20000
+
+// cliffBase is the quiet spec every cliff family perturbs: cache-
+// resident, fully patterned short-period branches, machine-width ILP,
+// no chase/conflict/trap pressure — so the swept axis is the only
+// signal.
+func cliffBase(t CliffTarget) Spec {
+	return Spec{
+		Seed:             1,
+		Iters:            cliffIters,
+		BranchEntropy:    0,
+		BranchPeriod:     2,
+		WorkingSetKB:     8,
+		ChaseDepth:       0,
+		ILPWidth:         4,
+		ConflictWays:     0,
+		ConflictStrideKB: t.L1DWayKB,
+		ConflictDensity:  0,
+		TrapDensity:      0,
+	}
+}
+
+// CliffSuite returns the families whose swept axis straddles the
+// target's edges, in report order:
+//
+//	l1-size    working-set-kb across the L1 D-cache capacity
+//	l2-size    working-set-kb across the L2 capacity
+//	assoc      conflict-ways across the L1D conflict capacity
+//	predictor  branch-period across the local-history alias capacity
+//	ilp        ilp-width across the issue width
+//
+// The l2-size family needs full-length runs to wrap its working set;
+// truncated operating points should expect it flat.
+func CliffSuite(t CliffTarget) []Family {
+	base := cliffBase(t)
+	cc := t.ConflictCapacity()
+	return []Family{
+		{
+			Name: "l1-size", Base: base, Axis: AxisWorkingSet,
+			Levels: uniqueLevels(t.L1DKB/4, t.L1DKB/2, t.L1DKB, 2*t.L1DKB, 4*t.L1DKB),
+			Edge:   fmt.Sprintf("L1D capacity %d KB", t.L1DKB),
+		},
+		{
+			Name: "l2-size", Base: base, Axis: AxisWorkingSet,
+			Levels: uniqueLevels(t.L2KB/4, t.L2KB/2, t.L2KB, 2*t.L2KB),
+			Edge:   fmt.Sprintf("L2 capacity %d KB", t.L2KB),
+		},
+		{
+			Name: "assoc", Base: base, Axis: AxisConflictWays,
+			Levels: uniqueLevels(1, cc/4, cc/2, cc, 2*cc, 4*cc),
+			Edge: fmt.Sprintf("conflict capacity %d blocks (%d-way x %d KB way / %d KB page), +%d victim entries on the detailed tier",
+				cc, t.L1DAssoc, t.L1DWayKB, t.PageKB, t.VictimEntries),
+		},
+		{
+			Name: "predictor", Base: base, Axis: AxisBranchPeriod,
+			Levels: uniqueLevels(2, 4, t.LocalHistBits-2, 4*t.LocalHistBits,
+				16*t.LocalHistBits, 64*t.LocalHistBits),
+			Edge: fmt.Sprintf("local-history aliasing capacity: period ~%d (%d bits)",
+				t.AliasCapacity(), t.LocalHistBits),
+		},
+		{
+			Name: "ilp", Base: base, Axis: AxisILPWidth,
+			Levels: uniqueLevels(1, t.IssueWidth/2, t.IssueWidth, 2*t.IssueWidth),
+			Edge:   fmt.Sprintf("issue width %d", t.IssueWidth),
+		},
+	}
+}
+
+// uniqueLevels drops non-positive and repeated values, preserving
+// order, so degenerate geometries (direct-mapped L1, 2-wide issue)
+// still yield valid families.
+func uniqueLevels(vs ...int) []int {
+	seen := make(map[int]bool, len(vs))
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		if v <= 0 || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package workgen
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/model"
+)
+
+func TestFamilyCheck(t *testing.T) {
+	good := Family{
+		Name: "ws", Base: DefaultSpec(), Axis: AxisWorkingSet,
+		Levels: []int{8, 16, 32},
+	}
+	if err := good.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Family{
+		"no-name":       {Base: DefaultSpec(), Axis: AxisWorkingSet, Levels: []int{8, 16}},
+		"one-level":     {Name: "x", Base: DefaultSpec(), Axis: AxisWorkingSet, Levels: []int{8}},
+		"dup-level":     {Name: "x", Base: DefaultSpec(), Axis: AxisWorkingSet, Levels: []int{8, 8}},
+		"unknown-axis":  {Name: "x", Base: DefaultSpec(), Axis: "frobnication", Levels: []int{1, 2}},
+		"invalid-level": {Name: "x", Base: DefaultSpec(), Axis: AxisWorkingSet, Levels: []int{0, 8}},
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			if f.Check() == nil {
+				t.Errorf("Check() accepted %+v", f)
+			}
+		})
+	}
+}
+
+func TestFamilyWorkloads(t *testing.T) {
+	f := Family{
+		Name: "ws", Base: DefaultSpec(), Axis: AxisWorkingSet,
+		Levels: []int{8, 16, 32},
+	}
+	ws, err := f.Workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d workloads, want 3", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Errorf("duplicate member name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Category != Category {
+			t.Errorf("member %q category %q", w.Name, w.Category)
+		}
+	}
+}
+
+// The suite generated against the default sim-alpha geometry must be
+// fully valid and its swept levels must straddle each edge.
+func TestCliffSuiteStraddlesEdges(t *testing.T) {
+	cfg := model.DefaultAlphaConfig()
+	target := TargetFrom(cfg.Hier, cfg.Tour.LocalHistBits, cfg.IntIssueWidth)
+
+	straddles := func(levels []int, edge int) bool {
+		below, atOrAbove := false, false
+		for _, v := range levels {
+			if v < edge {
+				below = true
+			}
+			if v >= edge {
+				atOrAbove = true
+			}
+		}
+		return below && atOrAbove
+	}
+	edges := map[string]int{
+		"l1-size":   target.L1DKB,
+		"l2-size":   target.L2KB,
+		"assoc":     target.ConflictCapacity(),
+		"predictor": target.AliasCapacity(),
+		"ilp":       target.IssueWidth,
+	}
+	suite := CliffSuite(target)
+	if len(suite) != len(edges) {
+		t.Fatalf("suite has %d families, want %d", len(suite), len(edges))
+	}
+	for _, f := range suite {
+		if err := f.Check(); err != nil {
+			t.Errorf("family %s: %v", f.Name, err)
+		}
+		edge, ok := edges[f.Name]
+		if !ok {
+			t.Errorf("unexpected family %s", f.Name)
+			continue
+		}
+		if !straddles(f.Levels, edge) {
+			t.Errorf("family %s levels %v do not straddle edge %d", f.Name, f.Levels, edge)
+		}
+	}
+}
+
+// Degenerate geometries (direct-mapped L1, tiny predictor) must still
+// yield valid families: uniqueLevels drops collapsed duplicates.
+func TestCliffSuiteDegenerateGeometry(t *testing.T) {
+	h := cache.DS10L()
+	h.L1D.Assoc = 1
+	target := TargetFrom(h, 4, 1)
+	for _, f := range CliffSuite(target) {
+		if err := f.Check(); err != nil {
+			t.Errorf("family %s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestConflictCapacity(t *testing.T) {
+	tgt := CliffTarget{L1DAssoc: 2, L1DWayKB: 32, PageKB: 8}
+	if got := tgt.ConflictCapacity(); got != 8 {
+		t.Errorf("ConflictCapacity() = %d, want 8", got)
+	}
+	// Way size at or below a page: capacity collapses to associativity.
+	tgt = CliffTarget{L1DAssoc: 4, L1DWayKB: 4, PageKB: 8}
+	if got := tgt.ConflictCapacity(); got != 4 {
+		t.Errorf("ConflictCapacity() = %d, want 4", got)
+	}
+}
+
+func TestAliasCapacity(t *testing.T) {
+	// 10-bit history: sqrt(2^11) = 45.
+	if got := (CliffTarget{LocalHistBits: 10}).AliasCapacity(); got != 45 {
+		t.Errorf("AliasCapacity(10) = %d, want 45", got)
+	}
+}

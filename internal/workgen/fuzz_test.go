@@ -1,0 +1,59 @@
+package workgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecJSON throws arbitrary JSON at the Spec decode path — the
+// exact bytes the service's generate endpoint receives. Invariants:
+// decoding never panics, any spec that passes Check generates
+// successfully (bounded to keep footprints fuzz-sized), and Name is a
+// pure function of the decoded value (decode → re-encode → decode
+// names identically).
+func FuzzSpecJSON(f *testing.F) {
+	seed := func(s Spec) {
+		b, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+	seed(DefaultSpec())
+	cliff := DefaultSpec()
+	cliff.ConflictWays = 4
+	cliff.TrapDensity = 2
+	seed(cliff)
+	f.Add(`{"iters":-1}`)
+	f.Add(`{"seed":18446744073709551615,"iters":1,"working_set_kb":1,"branch_period":1,"ilp_width":1}`)
+	f.Add(`[{}]`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var s Spec
+		if err := json.Unmarshal([]byte(data), &s); err != nil {
+			return
+		}
+		if err := s.Check(); err != nil {
+			return
+		}
+		// Re-encoding the decoded value must preserve identity.
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var s2 Spec
+		if err := json.Unmarshal(b, &s2); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if s2.Name() != s.Name() {
+			t.Fatalf("name drifted across round-trip: %q != %q", s2.Name(), s.Name())
+		}
+		// Keep generation fuzz-sized: valid specs up to a 256 KB
+		// footprint must assemble.
+		if s.WorkingSetKB <= 256 && s.ConflictWays*s.ConflictStrideKB <= 256 && s.Iters <= 1<<16 {
+			if _, err := Generate(s); err != nil {
+				t.Fatalf("valid spec failed to generate: %v\nspec: %+v", err, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,462 @@
+// Package workgen is the parameterized workload generator: a
+// deterministic, seeded synthesizer that emits AXP-lite programs from
+// a typed Spec instead of a hand-tuned profile. Where
+// internal/macrobench freezes ten benchmark characters, workgen spans
+// a space — each axis isolates one microarchitectural pressure
+// (branch entropy, predictor-history demand, working-set size,
+// pointer-chase depth, dependence-chain width, cache-set conflict,
+// store/load conflict, replay-trap bait) so experiments can sweep a
+// single pressure across levels and watch where a machine's behavior
+// breaks ("cliffs": cache capacity, associativity, predictor
+// capacity).
+//
+// Generation is reproducible by construction: the canonical Name()
+// is derived from every Spec field, the RNG is seeded from that name,
+// and Generate draws from nothing else — the same Spec yields a
+// byte-identical program in any process, at any parallelism, so
+// simcache/diskstore fingerprints of generated workloads are stable
+// across machines and restarts.
+package workgen
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Category is the core.Workload category of every generated workload.
+const Category = "generated"
+
+// Axis names accepted by Family.Axis, in report order.
+const (
+	AxisBranchEntropy   = "branch-entropy"
+	AxisBranchPeriod    = "branch-period"
+	AxisWorkingSet      = "working-set-kb"
+	AxisChaseDepth      = "chase-depth"
+	AxisILPWidth        = "ilp-width"
+	AxisConflictWays    = "conflict-ways"
+	AxisConflictDensity = "conflict-density"
+	AxisTrapDensity     = "trap-density"
+)
+
+// AxisNames returns every sweepable axis in report order.
+func AxisNames() []string {
+	return []string{
+		AxisBranchEntropy, AxisBranchPeriod, AxisWorkingSet, AxisChaseDepth,
+		AxisILPWidth, AxisConflictWays, AxisConflictDensity, AxisTrapDensity,
+	}
+}
+
+// Spec parameterizes one generated workload. Every field participates
+// in the canonical Name, so two distinct specs can never alias in a
+// content-addressed cache.
+type Spec struct {
+	// Seed selects the generation stream: two specs differing only in
+	// Seed emit different (but individually deterministic) programs.
+	Seed uint64 `json:"seed"`
+	// Iters is the main-loop trip count (scales run length).
+	Iters int64 `json:"iters"`
+
+	// BranchEntropy is the percentage (0..100) of the body's branch
+	// sites whose direction comes from a random bit table — branches
+	// no predictor can learn.
+	BranchEntropy int `json:"branch_entropy"`
+	// BranchPeriod is the repeating-pattern period of the remaining
+	// (patterned) branch sites. Short periods fit in a local branch
+	// history; long periods exceed predictor capacity.
+	BranchPeriod int `json:"branch_period"`
+	// WorkingSetKB is the sequentially streamed working set. Sets
+	// below a cache's capacity hit after the first pass; sets above
+	// it thrash under LRU.
+	WorkingSetKB int `json:"working_set_kb"`
+	// ChaseDepth is the number of serially dependent pointer-chase
+	// hops per iteration (memory-latency dependence chains).
+	ChaseDepth int `json:"chase_depth"`
+	// ILPWidth spreads the body's fixed ALU work over this many
+	// independent dependence chains (1 = fully serial, 8 = wide).
+	ILPWidth int `json:"ilp_width"`
+	// ConflictWays loads this many distinct blocks that map to the
+	// same cache set each iteration; counts past the associativity
+	// conflict-miss every access.
+	ConflictWays int `json:"conflict_ways"`
+	// ConflictStrideKB is the byte distance between conflicting
+	// blocks, in KB — the target cache's way size (size/assoc) makes
+	// them set-equivalent. Required when ConflictWays > 0.
+	ConflictStrideKB int `json:"conflict_stride_kb"`
+	// ConflictDensity emits store/load pairs in the same 32-byte
+	// granule at different quadwords (coarse-granularity replay bait).
+	ConflictDensity int `json:"conflict_density"`
+	// TrapDensity emits increment-and-reload sequences whose reload
+	// is younger than an unresolved store (store-wait replay bait).
+	TrapDensity int `json:"trap_density"`
+}
+
+// DefaultSpec is a balanced mid-space starting point: cache-resident,
+// mildly branchy, machine-width ILP.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:             1,
+		Iters:            400,
+		BranchEntropy:    25,
+		BranchPeriod:     4,
+		WorkingSetKB:     16,
+		ChaseDepth:       2,
+		ILPWidth:         4,
+		ConflictWays:     0,
+		ConflictStrideKB: 32,
+		ConflictDensity:  0,
+		TrapDensity:      0,
+	}
+}
+
+// Generation bounds. They keep a generated program's data footprint
+// and per-iteration body within what the simulators' flat memory and
+// the assembler's 16-bit displacements handle.
+const (
+	maxIters     = 1 << 24
+	maxPeriod    = 4096
+	maxWSKB      = 32 << 10 // 32 MB: straddles the largest modeled L2 4x over
+	maxChase     = 64
+	maxILP       = 8
+	maxWays      = 64
+	maxStrideKB  = 4096
+	maxConflicts = 16
+	maxTraps     = 16
+)
+
+// Check validates the spec's bounds. Axes where zero is meaningless
+// (iterations, working set, period, ILP width) reject zero as well as
+// negatives; presence axes (chase, conflicts, traps) accept zero.
+func (s Spec) Check() error {
+	switch {
+	case s.Iters <= 0 || s.Iters > maxIters:
+		return fmt.Errorf("workgen: iters %d out of range [1, %d]", s.Iters, maxIters)
+	case s.BranchEntropy < 0 || s.BranchEntropy > 100:
+		return fmt.Errorf("workgen: branch_entropy %d out of range [0, 100]", s.BranchEntropy)
+	case s.BranchPeriod <= 0 || s.BranchPeriod > maxPeriod:
+		return fmt.Errorf("workgen: branch_period %d out of range [1, %d]", s.BranchPeriod, maxPeriod)
+	case s.WorkingSetKB <= 0 || s.WorkingSetKB > maxWSKB:
+		return fmt.Errorf("workgen: working_set_kb %d out of range [1, %d]", s.WorkingSetKB, maxWSKB)
+	case s.ChaseDepth < 0 || s.ChaseDepth > maxChase:
+		return fmt.Errorf("workgen: chase_depth %d out of range [0, %d]", s.ChaseDepth, maxChase)
+	case s.ILPWidth <= 0 || s.ILPWidth > maxILP:
+		return fmt.Errorf("workgen: ilp_width %d out of range [1, %d]", s.ILPWidth, maxILP)
+	case s.ConflictWays < 0 || s.ConflictWays > maxWays:
+		return fmt.Errorf("workgen: conflict_ways %d out of range [0, %d]", s.ConflictWays, maxWays)
+	case s.ConflictStrideKB < 0 || s.ConflictStrideKB > maxStrideKB:
+		return fmt.Errorf("workgen: conflict_stride_kb %d out of range [0, %d]", s.ConflictStrideKB, maxStrideKB)
+	case s.ConflictWays > 0 && s.ConflictStrideKB == 0:
+		return fmt.Errorf("workgen: conflict_ways %d needs a conflict_stride_kb", s.ConflictWays)
+	case s.ConflictWays*s.ConflictStrideKB > maxWSKB:
+		return fmt.Errorf("workgen: conflict region %d KB exceeds %d KB",
+			s.ConflictWays*s.ConflictStrideKB, maxWSKB)
+	case s.ConflictDensity < 0 || s.ConflictDensity > maxConflicts:
+		return fmt.Errorf("workgen: conflict_density %d out of range [0, %d]", s.ConflictDensity, maxConflicts)
+	case s.TrapDensity < 0 || s.TrapDensity > maxTraps:
+		return fmt.Errorf("workgen: trap_density %d out of range [0, %d]", s.TrapDensity, maxTraps)
+	}
+	return nil
+}
+
+// Name is the spec's canonical identity: every field, in a fixed
+// order. Two specs share a name exactly when they are equal, and the
+// name seeds generation, so it is safe as a cache-fingerprint
+// component and as a service catalogue key.
+func (s Spec) Name() string {
+	return fmt.Sprintf("wg-be%d-bp%d-ws%d-pc%d-il%d-cw%dx%d-cd%d-td%d-i%d-s%d",
+		s.BranchEntropy, s.BranchPeriod, s.WorkingSetKB, s.ChaseDepth, s.ILPWidth,
+		s.ConflictWays, s.ConflictStrideKB, s.ConflictDensity, s.TrapDensity,
+		s.Iters, s.Seed)
+}
+
+// Fixed body geometry. Constants rather than axes: every spec touches
+// the working set at the same per-iteration rate (so the working-set
+// axis alone decides wrap frequency) and carries the same ALU volume
+// (so the ILP axis alone decides chain length).
+const (
+	seqBlocks  = 16 // 64-byte blocks streamed per iteration (1 KB)
+	blockBytes = 64
+	aluOps     = 48 // integer ops spread over ILPWidth chains
+	// conflictAccesses is the per-iteration conflict-load count when
+	// ConflictWays > 0 (more if ways exceed it, so each block is
+	// touched); fixed so sweeping ways changes the miss rate, not the
+	// access volume.
+	conflictAccesses = 16
+	branchSites      = 4   // conditional branch sites per iteration
+	ringEntries      = 512 // pointer-chase ring (4 KB, cache-resident)
+	bitEntries       = 4096
+)
+
+// rng is the splitmix64 generator used for program synthesis,
+// seeded from the spec's canonical name.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Generate synthesizes the spec's program. The same spec always
+// yields a byte-identical program: all randomness flows from a
+// splitmix64 stream seeded by the canonical name.
+func Generate(s Spec) (core.Workload, error) {
+	if err := s.Check(); err != nil {
+		return core.Workload{}, err
+	}
+	name := s.Name()
+	r := &rng{s: hash(name)}
+	b := asm.NewBuilder(name)
+
+	hard := (branchSites*s.BranchEntropy + 50) / 100 // rounded
+	patterned := branchSites - hard
+
+	// Data objects.
+	wsBytes := int64(s.WorkingSetKB) << 10
+	b.Space("ws", uint64(wsBytes), 64)
+	if s.ChaseDepth > 0 {
+		// A single random cycle over the ring: entry e holds the byte
+		// offset of its successor, so each hop is a dependent load.
+		perm := make([]int, ringEntries)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := ringEntries - 1; i > 0; i-- { // Sattolo: one cycle
+			j := int(r.next() % uint64(i))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		ring := make([]uint64, ringEntries)
+		for k := 0; k < ringEntries; k++ {
+			ring[perm[k]] = uint64(perm[(k+1)%ringEntries]) * 8
+		}
+		b.Quads("ring", ring...)
+	}
+	if hard > 0 {
+		bits := make([]uint64, bitEntries)
+		for i := range bits {
+			bits[i] = r.next() & 1
+		}
+		b.Quads("bits", bits...)
+	}
+	if patterned > 0 {
+		// One independent period-P direction row per site. Independent
+		// rows keep the global predictor from cross-predicting site k
+		// from sites <k, so the axis measures per-branch history
+		// capacity. Rows are random bits forced mixed (never
+		// all-taken/all-fallthrough) so the axis measures capacity,
+		// not static bias.
+		pat := make([]uint64, patterned*s.BranchPeriod)
+		for i := range pat {
+			pat[i] = r.next() & 1
+		}
+		if s.BranchPeriod >= 2 {
+			for row := 0; row < patterned; row++ {
+				pat[row*s.BranchPeriod] = 0
+				pat[(row+1)*s.BranchPeriod-1] = 1
+			}
+		}
+		b.Quads("pat", pat...)
+	}
+	if s.ConflictWays > 0 {
+		b.Space("conf", uint64(s.ConflictWays)*uint64(s.ConflictStrideKB)<<10, 64)
+	}
+	if s.ConflictDensity > 0 || s.TrapDensity > 0 {
+		b.Space("scratch", 1024, 64)
+	}
+
+	// Register conventions:
+	//   s0: streaming pointer   s1: ws base        s2: entropy cursor
+	//   s3: conflict base       s4: ws remaining   s5: chase pointer
+	//   a0: bits base  a1: ring base  a2: pattern base  a3: pattern cursor
+	//   a4/a5/t8..t10: load targets   t0..t7: ILP chains
+	//   t11/at: scratch   t12: loop counter
+	b.Label("main")
+	b.LoadAddr(isa.S1, "ws")
+	b.Op(isa.OpAddq, isa.S1, isa.Zero, isa.S0)
+	b.LoadImm(isa.S4, wsBytes)
+	if s.ChaseDepth > 0 {
+		b.LoadAddr(isa.A1, "ring")
+		b.Op(isa.OpAddq, isa.A1, isa.Zero, isa.S5)
+	}
+	if hard > 0 {
+		b.LoadImm(isa.S2, 0)
+		b.LoadAddr(isa.A0, "bits")
+	}
+	if patterned > 0 {
+		b.LoadAddr(isa.A2, "pat")
+		b.LoadImm(isa.A3, 0)
+	}
+	if s.ConflictWays > 0 {
+		b.LoadAddr(isa.S3, "conf")
+	}
+	if s.ConflictDensity > 0 || s.TrapDensity > 0 {
+		b.LoadAddr(isa.A4, "scratch")
+	}
+	b.LoadImm(isa.T12, s.Iters)
+	b.AlignOctaword()
+	b.Label("loop")
+	emitBody(b, s, r, hard, patterned)
+
+	// Bookkeeping: wrap the streaming pointer, advance the entropy
+	// and pattern cursors, close the loop.
+	b.LoadImm(isa.AT, seqBlocks*blockBytes)
+	b.Op(isa.OpSubq, isa.S4, isa.AT, isa.S4)
+	b.Br(isa.OpBgt, isa.S4, "nowrap")
+	b.Op(isa.OpAddq, isa.S1, isa.Zero, isa.S0)
+	b.LoadImm(isa.S4, wsBytes)
+	b.Label("nowrap")
+	if hard > 0 {
+		b.OpI(isa.OpAddq, isa.S2, 1, isa.S2)
+		b.LoadImm(isa.AT, bitEntries-1)
+		b.Op(isa.OpAnd, isa.S2, isa.AT, isa.S2)
+	}
+	if patterned > 0 {
+		// Branch-free wrap: a3 = (a3+1 == period) ? 0 : a3+1, so the
+		// pattern cursor adds no branch site of its own.
+		b.OpI(isa.OpAddq, isa.A3, 1, isa.A3)
+		b.LoadImm(isa.AT, int64(s.BranchPeriod))
+		b.Op(isa.OpCmpeq, isa.A3, isa.AT, isa.AT)
+		b.Op(isa.OpCmovne, isa.AT, isa.Zero, isa.A3)
+	}
+	b.OpI(isa.OpSubq, isa.T12, 1, isa.T12)
+	b.Br(isa.OpBne, isa.T12, "loop")
+	b.Halt()
+
+	prog, err := b.Assemble()
+	if err != nil {
+		return core.Workload{}, fmt.Errorf("workgen: %s: %w", name, err)
+	}
+	return core.Workload{Name: name, Prog: prog, Category: Category}, nil
+}
+
+// MustGenerate is Generate for specs known valid (panics otherwise).
+func MustGenerate(s Spec) core.Workload {
+	w, err := Generate(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// emitBody emits one loop iteration.
+func emitBody(b *asm.Builder, s Spec, r *rng, hard, patterned int) {
+	loadReg := func(i int) isa.Reg {
+		regs := []isa.Reg{isa.T8, isa.T9, isa.T10, isa.A5}
+		return regs[i%len(regs)]
+	}
+	chainReg := func(i int) isa.Reg { return isa.Reg(1 + i%s.ILPWidth) } // t0..t7
+
+	// Streaming loads: one load per 64-byte block, seqBlocks blocks,
+	// then advance the pointer (the wrap check runs in bookkeeping).
+	for i := 0; i < seqBlocks; i++ {
+		b.Mem(isa.OpLdq, loadReg(i), int32(i*blockBytes), isa.S0)
+	}
+	b.LoadImm(isa.AT, seqBlocks*blockBytes)
+	b.Op(isa.OpAddq, isa.S0, isa.AT, isa.S0)
+
+	// Pointer chase: serially dependent hops around the ring. Each
+	// entry holds its successor's byte offset.
+	for i := 0; i < s.ChaseDepth; i++ {
+		b.Mem(isa.OpLdq, isa.AT, 0, isa.S5)
+		b.Op(isa.OpAddq, isa.A1, isa.AT, isa.S5)
+	}
+
+	// Set-conflict loads: a fixed count of accesses per iteration,
+	// cycling over ConflictWays blocks exactly one way-size apart.
+	// While the blocks fit the set they all hit; one past the
+	// associativity, LRU evicts each block before its next use and
+	// every access misses — a step, not a ramp, since the access count
+	// is level-invariant. Each address adds the previous loaded value
+	// (always zero) so the chain is serially dependent and the
+	// out-of-order core cannot overlap the conflict misses.
+	if s.ConflictWays > 0 {
+		stride := int64(s.ConflictStrideKB) << 10
+		acc := conflictAccesses
+		if s.ConflictWays > acc {
+			acc = s.ConflictWays
+		}
+		for i := 0; i < acc; i++ {
+			prev := isa.Zero
+			if i > 0 {
+				prev = loadReg(i)
+			}
+			b.LoadImm(isa.AT, int64(i%s.ConflictWays)*stride)
+			b.Op(isa.OpAddq, isa.S3, isa.AT, isa.AT)
+			b.Op(isa.OpAddq, isa.AT, prev, isa.AT)
+			b.Mem(isa.OpLdq, loadReg(i+1), 0, isa.AT)
+		}
+	}
+
+	// Fixed ALU volume over ILPWidth independent chains.
+	for i := 0; i < aluOps; i++ {
+		c := chainReg(i)
+		switch r.next() % 3 {
+		case 0:
+			b.OpI(isa.OpAddq, c, uint8(1+r.next()%7), c)
+		case 1:
+			b.OpI(isa.OpXor, c, uint8(r.next()%256), c)
+		default:
+			b.OpI(isa.OpSubq, c, 1, c)
+		}
+	}
+
+	// Store/load conflict pairs: same 32-byte granule, different
+	// quadwords (coarse-granularity hardware replays; exact-compare
+	// simulators see independence).
+	for i := 0; i < s.ConflictDensity; i++ {
+		b.Mem(isa.OpStq, chainReg(i), int32(i*32), isa.A4)
+		b.Mem(isa.OpLdq, loadReg(i+2), int32(i*32+8), isa.A4)
+	}
+
+	// Increment-and-reload: the reload is younger than a store whose
+	// data depends on a load-add chain — store-wait replay bait.
+	for i := 0; i < s.TrapDensity; i++ {
+		off := int32(512 + i*8)
+		b.Mem(isa.OpLdq, isa.T11, off, isa.A4)
+		b.OpI(isa.OpAddq, isa.T11, 1, isa.T11)
+		b.Mem(isa.OpStq, isa.T11, off, isa.A4)
+		b.Mem(isa.OpLdq, loadReg(i+3), off, isa.A4)
+	}
+
+	// Patterned branches: site i follows its own period-P direction
+	// row, indexed by the shared pattern cursor. Learnable while the
+	// period fits the predictor's history; opaque past it.
+	for i := 0; i < patterned; i++ {
+		lbl := fmt.Sprintf("pat%d", i)
+		b.LoadImm(isa.AT, int64(i)*int64(s.BranchPeriod)*8)
+		b.Op(isa.OpAddq, isa.A2, isa.AT, isa.AT)
+		b.Op(isa.OpS8addq, isa.A3, isa.AT, isa.AT)
+		b.Mem(isa.OpLdq, isa.AT, 0, isa.AT)
+		b.Br(isa.OpBeq, isa.AT, lbl)
+		b.OpI(isa.OpAddq, isa.T11, 1, isa.T11)
+		b.Label(lbl)
+	}
+
+	// Hard branches: direction from the random bit table, scattered
+	// by the entropy cursor — unlearnable at any history length.
+	for i := 0; i < hard; i++ {
+		lbl := fmt.Sprintf("hard%d", i)
+		c := int32((i*17 + 5) % bitEntries)
+		b.Mem(isa.OpLda, isa.AT, c, isa.S2)
+		b.OpI(isa.OpSll, isa.AT, 52, isa.AT)
+		b.OpI(isa.OpSrl, isa.AT, 49, isa.AT) // (at % 4096) * 8
+		b.Op(isa.OpAddq, isa.A0, isa.AT, isa.AT)
+		b.Mem(isa.OpLdq, isa.AT, 0, isa.AT)
+		b.Br(isa.OpBeq, isa.AT, lbl)
+		b.OpI(isa.OpAddq, isa.T11, 1, isa.T11)
+		b.Label(lbl)
+	}
+}

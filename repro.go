@@ -42,6 +42,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/stats"
 	"repro/internal/validate"
+	"repro/internal/workgen"
 )
 
 // Machine is any timing model that can run a Workload; see the
@@ -143,6 +144,32 @@ func WorkloadByName(name string) (Workload, bool) {
 	}
 	return macrobench.ByName(name)
 }
+
+// Generated workloads: deterministic synthetic programs positioned on
+// the microarchitectural feature space by a typed spec, for probing
+// where a timing model's behavior breaks (cache-size, associativity,
+// predictor-capacity cliffs). See internal/workgen for the axes and
+// the attribution experiment for the cliff suites in use.
+type (
+	// WorkloadSpec parameterizes one generated workload; the zero
+	// value is invalid — start from DefaultWorkloadSpec.
+	WorkloadSpec = workgen.Spec
+	// WorkloadFamily sweeps one spec axis across several levels.
+	WorkloadFamily = workgen.Family
+)
+
+// DefaultWorkloadSpec returns the balanced mid-space starting point
+// every generation axis perturbs.
+func DefaultWorkloadSpec() WorkloadSpec { return workgen.DefaultSpec() }
+
+// GenerateWorkload deterministically synthesizes the program a spec
+// describes: the same spec always yields byte-identical code, and the
+// workload's name is a pure function of the spec.
+func GenerateWorkload(s WorkloadSpec) (Workload, error) { return workgen.Generate(s) }
+
+// GenerateFamily synthesizes every member of a one-axis family, in
+// level order.
+func GenerateFamily(f WorkloadFamily) ([]Workload, error) { return f.Workloads() }
 
 // PctErrorCPI returns the paper's simulator-error metric: the percent
 // difference in CPI of a simulator against a reference. Negative
