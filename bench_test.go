@@ -119,6 +119,22 @@ func BenchmarkFigure2(b *testing.B) {
 	}
 }
 
+// BenchmarkMemory regenerates the memory-system error experiment:
+// flat DRAM vs cycle-accurate DDR on the calibration suite and
+// macrobenchmarks, including the coordinate-descent DDR calibration
+// and the six-variant controller tier comparison.
+func BenchmarkMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := validate.Memory(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CalMemErr >= res.FlatMemErr {
+			b.Fatal("calibrated DDR not beating flat DRAM")
+		}
+	}
+}
+
 // The sampled-vs-full pair measures the sampling subsystem's cost
 // reduction at a realistic operating point: the longest
 // macrobenchmark (gcc, ~810k dynamic instructions) near full length.
@@ -252,6 +268,25 @@ func BenchmarkCliffSweep(b *testing.B) {
 // instructions simulated per second on the validated model.
 func BenchmarkSimAlphaThroughput(b *testing.B) {
 	m := SimAlpha()
+	w, _ := WorkloadByName("E-I")
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Instructions
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSimAlphaDDRThroughput measures the DDR-backed detailed
+// model: the same workload through the banked memory controller
+// instead of the flat latency table, so the trajectory tracks what
+// the cycle-accurate memory subsystem costs.
+func BenchmarkSimAlphaDDRThroughput(b *testing.B) {
+	m := SimAlphaDDR()
 	w, _ := WorkloadByName("E-I")
 	b.ResetTimer()
 	var insts uint64

@@ -123,7 +123,11 @@ func machine(name string) (repro.Machine, error) {
 				return repro.SimAlphaWithout(f), nil
 			}
 		}
+		return nil, fmt.Errorf("unknown feature in %q (features: %s)",
+			name, strings.Join(repro.FeatureNames(), " "))
 	}
-	return nil, fmt.Errorf("unknown machine %q (features: %s)",
-		name, strings.Join(repro.FeatureNames(), " "))
+	// Anything else resolves through the backend registry, so every
+	// registered machine (sim-alpha-ddr, sim-interval, ...) works here
+	// without this switch growing a case per backend.
+	return repro.NewMachine(name)
 }

@@ -16,6 +16,13 @@ import (
 // implements core.Machine; each Run constructs fresh pipeline state.
 type Machine struct {
 	cfg Config
+	// newMem, when set, builds the main-memory backend under the L2
+	// instead of the flat SDRAM model described by cfg.DRAM. It lives
+	// outside Config so the pinned configuration fingerprints (and
+	// every golden built on them) stay byte-identical: a machine with
+	// a non-default memory backend is identified by a wrapper config
+	// at the registry layer (model.AlphaDDRConfig), never by this field.
+	newMem func() cache.Memory
 }
 
 // New returns a machine for the configuration. It panics on a
@@ -26,6 +33,23 @@ func New(cfg Config) *Machine {
 		panic(err)
 	}
 	return &Machine{cfg: cfg}
+}
+
+// NewWithMemory returns a machine whose hierarchy sits on the memory
+// backend the factory builds (one fresh instance per Run or
+// checkpoint pass) instead of the flat SDRAM model from cfg.DRAM.
+func NewWithMemory(cfg Config, newMem func() cache.Memory) *Machine {
+	m := New(cfg)
+	m.newMem = newMem
+	return m
+}
+
+// memory builds the machine's main-memory backend.
+func (m *Machine) memory() cache.Memory {
+	if m.newMem != nil {
+		return m.newMem()
+	}
+	return dram.New(m.cfg.DRAM)
 }
 
 // Name implements core.Machine.
@@ -47,13 +71,12 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 		}
 	} else {
 		cur := core.NewSampleCursor(w.Sample)
-		s = newSim(m.cfg, cur.Wrap(w.Source()))
+		s = newSim(m.cfg, m.memory(), cur.Wrap(w.Source()))
 		s.cur = cur
 	}
 	cur := s.cur
 	cur.SetSync(func(c *events.Collector) {
-		c.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
-		c.Set(events.Prefetches, s.hier.Prefetches)
+		s.hier.FoldMemEvents(c)
 	})
 	// Functional warming: during sampling skips, run every record
 	// through the caches (per-line on the I-side, as fetch does) and
@@ -224,7 +247,7 @@ type sim struct {
 	DebugMispredictPCs map[uint64]uint64
 }
 
-func newSim(cfg Config, src cpu.Source) *sim {
+func newSim(cfg Config, mem cache.Memory, src cpu.Source) *sim {
 	// A deeper register file lengthens the pipeline: every recovery
 	// that refills the front end pays the extra read stages.
 	if d := cfg.RFReadCycles - 1; d > 0 {
@@ -232,7 +255,7 @@ func newSim(cfg Config, src cpu.Source) *sim {
 		cfg.JmpFlush += d
 		cfg.LoadUseRecovery += d
 	}
-	hier := cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), dram.New(cfg.DRAM))
+	hier := cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), mem)
 	return &sim{
 		cfg:       cfg,
 		src:       src,
@@ -277,8 +300,7 @@ func (s *sim) schedule(t uint64) {
 // family, folding in the hierarchy-owned tallies (by idempotent Set:
 // a sampled run has already folded them at snapshot points).
 func (s *sim) counters() map[string]uint64 {
-	s.col.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
-	s.col.Set(events.Prefetches, s.hier.Prefetches)
+	s.hier.FoldMemEvents(&s.col)
 	return s.col.Counters(events.ModelAlpha)
 }
 

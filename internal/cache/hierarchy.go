@@ -1,9 +1,17 @@
 package cache
 
 import (
-	"repro/internal/dram"
+	"repro/internal/events"
+	"repro/internal/mem"
 	"repro/internal/vm"
 )
+
+// Memory is the main-memory backend under the L2. It is an alias for
+// the leaf-package contract (internal/mem) so backends can satisfy it
+// without importing the hierarchy: the flat SDRAM model
+// (internal/dram) is the default everywhere, and the cycle-accurate
+// DDR controller (internal/ddr) is an opt-in per machine config.
+type Memory = mem.Memory
 
 // HierarchyConfig describes the full memory system of one machine.
 type HierarchyConfig struct {
@@ -67,7 +75,7 @@ type Hierarchy struct {
 	VB   *VictimBuffer // nil when disabled
 	ITLB *vm.TLB
 	DTLB *vm.TLB
-	Mem  *dram.DRAM
+	Mem  Memory
 
 	mafI, mafD, mafL2 *MAF
 	Mapper            vm.Mapper
@@ -87,8 +95,8 @@ type Hierarchy struct {
 }
 
 // NewHierarchy builds a hierarchy from a configuration, a mapping
-// policy, and a DRAM model.
-func NewHierarchy(cfg HierarchyConfig, mapper vm.Mapper, mem *dram.DRAM) *Hierarchy {
+// policy, and a main-memory backend.
+func NewHierarchy(cfg HierarchyConfig, mapper vm.Mapper, mem Memory) *Hierarchy {
 	h := &Hierarchy{
 		Cfg:       cfg,
 		L1I:       New(cfg.L1I),
@@ -116,6 +124,21 @@ func NewHierarchy(cfg HierarchyConfig, mapper vm.Mapper, mem *dram.DRAM) *Hierar
 
 // MAFD exposes the data-side miss address file (for trap modeling).
 func (h *Hierarchy) MAFD() *MAF { return h.mafD }
+
+// FoldMemEvents folds the hierarchy-owned tallies — the memory
+// backend's counters and the prefetch total — into a collector by
+// idempotent Set, so the fold can run both mid-run (before a sampling
+// snapshot) and at the end of the run without double counting. Every
+// timing model calls this instead of reaching into the backend, so
+// the counter schema cannot drift between models.
+func (h *Hierarchy) FoldMemEvents(c *events.Collector) {
+	ms := h.Mem.MemStats()
+	c.Set(events.DRAMAccesses, ms.Accesses)
+	c.Set(events.DRAMRowHits, ms.RowHits)
+	c.Set(events.DRAMBankConflicts, ms.BankConflicts)
+	c.Set(events.DRAMQueueWaits, ms.QueueWaits)
+	c.Set(events.Prefetches, h.Prefetches)
+}
 
 // translate maps a virtual address through the hierarchy's policy,
 // short-circuiting repeats of the most recently translated page. The
@@ -151,7 +174,7 @@ func (h *Hierarchy) l2Access(paddr uint64, write bool, now uint64) (lat int, l2H
 		// Combine with the in-flight miss.
 		return lat + h.Cfg.L2.HitLatency + int(fillAt-t), false
 	}
-	memLat := h.Mem.Access(paddr, t+uint64(h.Cfg.L2.HitLatency))
+	memLat := h.Mem.Access(paddr, write, t+uint64(h.Cfg.L2.HitLatency))
 	total := h.Cfg.L2.HitLatency + memLat
 	if stallUntil, ok := h.mafL2.Allocate(block, t, t+uint64(total)); !ok {
 		total += int(stallUntil - t)

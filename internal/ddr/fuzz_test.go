@@ -1,0 +1,69 @@
+package ddr
+
+import "testing"
+
+// FuzzDDRConfig throws arbitrary configurations and traffic seeds at
+// the controller: anything Check accepts must simulate without
+// panicking, respect the protocol windows in its command trace, never
+// report a latency under MinLatency, and replay deterministically.
+func FuzzDDRConfig(f *testing.F) {
+	add := func(cfg Config, seed uint64) {
+		f.Add(cfg.Channels, cfg.Ranks, cfg.Banks, cfg.RowBytes, cfg.BurstCycles,
+			cfg.TRCD, cfg.TCL, cfg.TRP, cfg.TRAS, cfg.TRRD, cfg.TFAW, cfg.TWR,
+			cfg.ControllerCycles, cfg.ClockRatio, cfg.QueueDepth, cfg.StarveLimit,
+			cfg.RowPolicy, cfg.Scheduler, seed)
+	}
+	add(DS10LDDR(), 1)
+	closed := DS10LDDR()
+	closed.RowPolicy, closed.Scheduler = PolicyClosed, SchedFCFS
+	add(closed, 2)
+	wide := DS10LDDR()
+	wide.Channels, wide.Ranks, wide.RowPolicy = 4, 2, PolicyAdaptive
+	wide.QueueDepth, wide.StarveLimit = 2, 1
+	add(wide, 3)
+	tight := DS10LDDR()
+	tight.TRRD, tight.TFAW, tight.ClockRatio = 1, 1, 1
+	tight.Banks, tight.QueueDepth = 2, 64
+	add(tight, 4)
+
+	f.Fuzz(func(t *testing.T, channels, ranks, banks, rowBytes, burst,
+		trcd, tcl, trp, tras, trrd, tfaw, twr, ctl, ratio, qdepth, starve int,
+		policy, sched string, seed uint64) {
+		cfg := Config{
+			Channels: channels, Ranks: ranks, Banks: banks, RowBytes: rowBytes,
+			BurstCycles: burst, TRCD: trcd, TCL: tcl, TRP: trp, TRAS: tras,
+			TRRD: trrd, TFAW: tfaw, TWR: twr,
+			ControllerCycles: ctl, ClockRatio: ratio,
+			RowPolicy: policy, Scheduler: sched,
+			QueueDepth: qdepth, StarveLimit: starve,
+		}
+		if cfg.Check() != nil {
+			t.Skip()
+		}
+		const n = 300
+		c := New(cfg)
+		cmds := collectTrace(c, n, seed|1)
+		checkTrace(t, cfg, cmds)
+		st := c.MemStats()
+		if st.Accesses != n {
+			t.Fatalf("accesses %d, want %d", st.Accesses, n)
+		}
+		if st.RowHits+st.RowMisses+st.RowEmpty != st.Accesses {
+			t.Fatalf("classification does not partition accesses: %+v", st)
+		}
+		if c.maxStarve > cfg.StarveLimit {
+			t.Fatalf("request bypassed %d times, StarveLimit %d", c.maxStarve, cfg.StarveLimit)
+		}
+
+		d := New(cfg)
+		la, lb := drive(New(cfg), n, seed|1), drive(d, n, seed|1)
+		for i := range la {
+			if la[i] < d.MinLatency() {
+				t.Fatalf("latency %d below MinLatency %d", la[i], d.MinLatency())
+			}
+			if la[i] != lb[i] {
+				t.Fatalf("replay diverged at access %d: %d vs %d", i, la[i], lb[i])
+			}
+		}
+	})
+}

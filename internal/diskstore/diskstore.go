@@ -10,13 +10,15 @@
 //	objects/<hh>/<hash>            content-addressed blobs (SHA-256 hex)
 //	keys/<kk>/<key>                result bytes by simcache.Key
 //	libraries/<workload>@<c12>.json  checkpoint-library manifests
+//	workloads/<name>.json          minted generated-workload specs
 //
 // Writes are atomic: bytes land in a temp file in the store and are
 // renamed into place, so a crashed writer never leaves a torn object
 // and concurrent writers of the same content converge on identical
-// bytes. Objects are verified against their address on read, so disk
-// corruption surfaces as an error instead of a wrong simulation
-// result.
+// bytes. Objects are verified against their address on read, and
+// keyed entries carry a digest envelope verified on Get, so disk
+// corruption surfaces as an error (or a counted cache miss) instead
+// of a wrong simulation result.
 package diskstore
 
 import (
@@ -32,6 +34,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/simcache"
+	"repro/internal/workgen"
 )
 
 // Store is a content-addressed blob store rooted at one directory.
@@ -42,11 +45,14 @@ type Store struct {
 	// putErrs counts failed best-effort writes (the Tier2 face drops
 	// errors; this keeps them observable).
 	putErrs atomic.Uint64
+	// corruptReads counts keyed entries rejected by read-time digest
+	// verification (served as a miss; the tier above recomputes).
+	corruptReads atomic.Uint64
 }
 
 // Open returns a store rooted at dir, creating the layout as needed.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"objects", "keys", "libraries", "tmp"} {
+	for _, sub := range []string{"objects", "keys", "libraries", "workloads", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("diskstore: %w", err)
 		}
@@ -59,6 +65,10 @@ func (s *Store) Dir() string { return s.dir }
 
 // PutErrors returns how many best-effort writes have failed.
 func (s *Store) PutErrors() uint64 { return s.putErrs.Load() }
+
+// CorruptReads returns how many keyed entries failed read-time digest
+// verification (exported on /metrics as diskstore_corrupt_total).
+func (s *Store) CorruptReads() uint64 { return s.corruptReads.Load() }
 
 // writeAtomic lands blob at path via a temp file in the store's tmp
 // directory and an atomic rename. An existing file is left alone:
@@ -132,22 +142,134 @@ func (s *Store) keyPath(k simcache.Key) string {
 
 // Get implements simcache.Tier2: the bytes stored under the key, if
 // present. Read errors report absence — the tier above recomputes.
+// The stored envelope's payload digest is verified before anything is
+// returned: a flipped bit on disk surfaces as a counted cache miss
+// (and the rotten file is removed so the recomputed result can land),
+// never as a wrong simulation result.
 func (s *Store) Get(k simcache.Key) ([]byte, bool) {
-	blob, err := os.ReadFile(s.keyPath(k))
+	path := s.keyPath(k)
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
-	return blob, true
+	if len(blob) < sha256.Size {
+		s.corruptReads.Add(1)
+		os.Remove(path)
+		return nil, false
+	}
+	payload := blob[sha256.Size:]
+	if sum := sha256.Sum256(payload); !bytesEqual(sum[:], blob[:sha256.Size]) {
+		s.corruptReads.Add(1)
+		os.Remove(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+// bytesEqual avoids pulling in bytes just for one comparison.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Put implements simcache.Tier2: a best-effort write-through of the
-// bytes under the key. Failures are counted, not returned — a full
-// or read-only disk degrades the store to a miss, never breaks the
-// simulation path.
+// bytes under the key, wrapped in a digest envelope (the raw SHA-256
+// of the payload, then the payload) that Get verifies. Failures are
+// counted, not returned — a full or read-only disk degrades the
+// store to a miss, never breaks the simulation path.
 func (s *Store) Put(k simcache.Key, val []byte) {
-	if err := s.writeAtomic(s.keyPath(k), val); err != nil {
+	sum := sha256.Sum256(val)
+	env := make([]byte, 0, sha256.Size+len(val))
+	env = append(env, sum[:]...)
+	env = append(env, val...)
+	if err := s.writeAtomic(s.keyPath(k), env); err != nil {
 		s.putErrs.Add(1)
 	}
+}
+
+// SavedWorkload is one minted generated workload's persisted
+// catalogue entry: the generation spec (programs regenerate from it
+// deterministically — no program bytes are stored) plus its family
+// placement.
+type SavedWorkload struct {
+	Name   string       `json:"name"`
+	Spec   workgen.Spec `json:"spec"`
+	Family string       `json:"family,omitempty"`
+	Axis   string       `json:"axis,omitempty"`
+	Level  int          `json:"level,omitempty"`
+}
+
+// workloadPath names a persisted spec by its canonical workload name.
+// Spec names are [a-z0-9.-] by construction, so they are safe as file
+// names; anything else is rejected before pathing.
+func (s *Store) workloadPath(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return "", fmt.Errorf("diskstore: unsafe workload name %q", name)
+	}
+	return filepath.Join(s.dir, "workloads", name+".json"), nil
+}
+
+// SaveWorkloadSpec persists one minted workload's spec so a restarted
+// server can re-mint it. Saving the same name again is idempotent
+// (specs are canonical: same name ⇒ same spec ⇒ same program).
+func (s *Store) SaveWorkloadSpec(sw SavedWorkload) error {
+	if sw.Name == "" {
+		sw.Name = sw.Spec.Name()
+	}
+	if err := sw.Spec.Check(); err != nil {
+		return err
+	}
+	path, err := s.workloadPath(sw.Name)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(sw, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := s.writeAtomic(path, append(blob, '\n')); err != nil {
+		return fmt.Errorf("diskstore: workload %s: %w", sw.Name, err)
+	}
+	return nil
+}
+
+// WorkloadSpecs returns every persisted generated-workload entry,
+// sorted by name (a deterministic re-mint order). Entries that fail
+// to parse or validate are skipped rather than failing the listing:
+// one rotten file must not take the whole catalogue down.
+func (s *Store) WorkloadSpecs() ([]SavedWorkload, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "workloads"))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	var out []SavedWorkload
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(s.dir, "workloads", e.Name()))
+		if err != nil {
+			continue
+		}
+		var sw SavedWorkload
+		if err := json.Unmarshal(blob, &sw); err != nil || sw.Spec.Check() != nil {
+			s.corruptReads.Add(1)
+			continue
+		}
+		if sw.Name == "" {
+			sw.Name = sw.Spec.Name()
+		}
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
 // libraryPath names a library manifest by workload and the first 12

@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sample"
 	"repro/internal/simcache"
+	"repro/internal/workgen"
 )
 
 func TestObjectRoundTrip(t *testing.T) {
@@ -220,5 +221,133 @@ func TestLoadLibrarySelection(t *testing.T) {
 	}
 	if got.Machine != "sim-other" {
 		t.Fatalf("loaded library for machine %q, want sim-other", got.Machine)
+	}
+}
+
+// TestKeyedCorruptionFallback plants a flipped byte in a keyed entry
+// and requires Get to degrade to a counted miss (rotten file removed)
+// so the tier above recomputes and the recomputed result can land.
+func TestKeyedCorruptionFallback(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := simcache.KeyOf("cell", "corrupt")
+	s.Put(k, []byte("pristine result"))
+	path := s.keyPath(k)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x01 // flip one payload bit
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := s.Get(k); ok {
+		t.Fatalf("corrupted entry served as a hit: %q", v)
+	}
+	if n := s.CorruptReads(); n != 1 {
+		t.Fatalf("CorruptReads = %d, want 1", n)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("rotten file still on disk (stat err %v)", err)
+	}
+
+	// The cache above must fall back to compute, and the recomputed
+	// value must write through past the removed file.
+	c := simcache.New(8)
+	c.SetTier2(s)
+	v, cached, err := c.GetOrCompute(k, func() ([]byte, error) { return []byte("recomputed"), nil })
+	if err != nil || cached || string(v) != "recomputed" {
+		t.Fatalf("fallback compute: %q cached=%v err=%v", v, cached, err)
+	}
+	if v, ok := s.Get(k); !ok || string(v) != "recomputed" {
+		t.Fatalf("recomputed entry not re-persisted: %q ok=%v", v, ok)
+	}
+
+	// A truncated envelope (shorter than a digest) is also a counted
+	// miss, not a panic.
+	k2 := simcache.KeyOf("cell", "short")
+	s.Put(k2, []byte("x"))
+	if err := os.WriteFile(s.keyPath(k2), []byte("stub"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("truncated envelope served as a hit")
+	}
+	if n := s.CorruptReads(); n != 2 {
+		t.Fatalf("CorruptReads after truncation = %d, want 2", n)
+	}
+}
+
+// TestWorkloadSpecRoundTrip covers the persisted generated-workload
+// catalogue: save, list (sorted), idempotent re-save, unsafe-name
+// rejection, and a rotten spec file degrading to a counted skip.
+func TestWorkloadSpecRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := s.WorkloadSpecs()
+	if err != nil || len(specs) != 0 {
+		t.Fatalf("empty store listed %d specs (err %v)", len(specs), err)
+	}
+
+	b := workgen.DefaultSpec()
+	b.Seed = 7
+	a := workgen.DefaultSpec()
+	a.Seed = 3
+	for _, sw := range []SavedWorkload{
+		{Spec: b, Family: "fam", Axis: "working-set", Level: 16},
+		{Spec: a},
+	} {
+		if err := s.SaveWorkloadSpec(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idempotent re-save of the same name.
+	if err := s.SaveWorkloadSpec(SavedWorkload{Spec: a}); err != nil {
+		t.Fatal(err)
+	}
+
+	specs, err = s.WorkloadSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("listed %d specs, want 2", len(specs))
+	}
+	if specs[0].Name >= specs[1].Name {
+		t.Fatalf("listing not sorted: %q, %q", specs[0].Name, specs[1].Name)
+	}
+	for _, sw := range specs {
+		if sw.Name != sw.Spec.Name() {
+			t.Errorf("name %q does not match spec name %q", sw.Name, sw.Spec.Name())
+		}
+		if sw.Spec.Name() == b.Name() && (sw.Family != "fam" || sw.Level != 16) {
+			t.Errorf("family placement lost: %+v", sw)
+		}
+	}
+
+	// Unsafe names never reach the filesystem. (An empty name is not
+	// unsafe — it defaults to the spec's canonical name.)
+	for _, name := range []string{"../escape", "a/b", `a\b`, ".hidden"} {
+		if err := s.SaveWorkloadSpec(SavedWorkload{Name: name, Spec: a}); err == nil {
+			t.Errorf("unsafe name %q accepted", name)
+		}
+	}
+
+	// A rotten spec file is skipped and counted, not fatal.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "workloads", "junk.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CorruptReads()
+	specs, err = s.WorkloadSpecs()
+	if err != nil || len(specs) != 2 {
+		t.Fatalf("listing with rotten file: %d specs, err %v", len(specs), err)
+	}
+	if s.CorruptReads() != before+1 {
+		t.Fatalf("CorruptReads = %d, want %d", s.CorruptReads(), before+1)
 	}
 }

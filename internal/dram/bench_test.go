@@ -20,7 +20,7 @@ func benchPolicy(b *testing.B, open bool) {
 	now := uint64(0)
 	var total int
 	for i := 0; i < b.N; i++ {
-		lat := d.Access(uint64(i%4096)*64, now)
+		lat := d.Access(uint64(i%4096)*64, false, now)
 		total += lat
 		now += uint64(lat)
 	}
@@ -37,7 +37,7 @@ func BenchmarkRandomAccess(b *testing.B) {
 		x ^= x << 13
 		x ^= x >> 7
 		x ^= x << 17
-		lat := d.Access(x%(1<<28), now)
+		lat := d.Access(x%(1<<28), false, now)
 		now += uint64(lat)
 	}
 }

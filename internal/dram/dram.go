@@ -11,6 +11,8 @@
 // internal/validate reruns that sweep.
 package dram
 
+import "repro/internal/mem"
+
 // Config describes one SDRAM subsystem. All latencies are in DRAM
 // cycles except ControllerCycles, which is in CPU cycles (it is board
 // logic clocked with the processor interface).
@@ -90,8 +92,12 @@ func (d *DRAM) locate(paddr uint64) (bank int, row int64) {
 
 // Access performs one block read or write beginning at CPU cycle now
 // and returns its total latency in CPU cycles, including controller
-// overhead, any wait for a busy bank, and the block transfer.
-func (d *DRAM) Access(paddr uint64, now uint64) int {
+// overhead, any wait for a busy bank, and the block transfer. The
+// flat model prices reads and writes identically, so the write flag
+// only exists to satisfy the backend interface (the DDR controller
+// uses it for write-recovery timing).
+func (d *DRAM) Access(paddr uint64, write bool, now uint64) int {
+	_ = write
 	d.Stats.Accesses++
 	bank, row := d.locate(paddr)
 
@@ -148,6 +154,20 @@ func (d *DRAM) MinLatency() int {
 		c = d.cfg.RASCycles + d.cfg.CASCycles
 	}
 	return d.cfg.ControllerCycles + (c+d.cfg.TransferCycles)*d.cfg.ClockRatio
+}
+
+// MemStats maps the flat model's page accounting onto the
+// backend-neutral counter set: SDRAM pages are DDR rows, and a bank
+// wait is a bank conflict. The flat model has no request queue, so
+// the queue fields stay zero.
+func (d *DRAM) MemStats() mem.Stats {
+	return mem.Stats{
+		Accesses:      d.Stats.Accesses,
+		RowHits:       d.Stats.PageHits,
+		RowMisses:     d.Stats.PageMisses,
+		RowEmpty:      d.Stats.PageEmpty,
+		BankConflicts: d.Stats.BankWaits,
+	}
 }
 
 // Reset closes all banks and clears statistics.

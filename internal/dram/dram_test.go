@@ -8,11 +8,11 @@ import (
 func TestOpenPageHitFasterThanMiss(t *testing.T) {
 	d := New(DS10LConfig())
 	cfg := d.Config()
-	first := d.Access(0, 1000)
+	first := d.Access(0, false, 1000)
 	// Same row, bank now idle again far in the future.
-	hit := d.Access(64, 1_000_000)
+	hit := d.Access(64, false, 1_000_000)
 	// Different row, same bank (stride = RowBytes*Banks).
-	miss := d.Access(uint64(cfg.RowBytes*cfg.Banks), 2_000_000)
+	miss := d.Access(uint64(cfg.RowBytes*cfg.Banks), false, 2_000_000)
 	if !(hit < first) {
 		t.Errorf("page hit %d not faster than cold access %d", hit, first)
 	}
@@ -33,8 +33,8 @@ func TestClosedPagePolicyConstantLatency(t *testing.T) {
 	cfg := DS10LConfig()
 	cfg.OpenPage = false
 	d := New(cfg)
-	a := d.Access(0, 1000)
-	b := d.Access(64, 1_000_000) // same row: no benefit under closed page
+	a := d.Access(0, false, 1000)
+	b := d.Access(64, false, 1_000_000) // same row: no benefit under closed page
 	if a != b {
 		t.Errorf("closed-page latencies differ: %d vs %d", a, b)
 	}
@@ -49,8 +49,8 @@ func TestBankConflictQueues(t *testing.T) {
 	// Two back-to-back accesses to different rows of the same bank at
 	// the same instant: the second waits for the first.
 	sameBankStride := uint64(cfg.RowBytes * cfg.Banks)
-	a := d.Access(0, 100)
-	b := d.Access(sameBankStride, 100)
+	a := d.Access(0, false, 100)
+	b := d.Access(sameBankStride, false, 100)
 	if b <= a {
 		t.Errorf("conflicting access %d not delayed past %d", b, a)
 	}
@@ -62,8 +62,8 @@ func TestBankConflictQueues(t *testing.T) {
 func TestDifferentBanksDoNotConflict(t *testing.T) {
 	d := New(DS10LConfig())
 	cfg := d.Config()
-	a := d.Access(0, 100)
-	b := d.Access(uint64(cfg.RowBytes), 100) // next row -> next bank
+	a := d.Access(0, false, 100)
+	b := d.Access(uint64(cfg.RowBytes), false, 100) // next row -> next bank
 	if b != a {
 		t.Errorf("independent banks interfered: %d vs %d", a, b)
 	}
@@ -76,7 +76,7 @@ func TestStreamingMostlyPageHits(t *testing.T) {
 	d := New(DS10LConfig())
 	now := uint64(0)
 	for i := 0; i < 256; i++ {
-		lat := d.Access(uint64(i*64), now)
+		lat := d.Access(uint64(i*64), false, now)
 		now += uint64(lat) + 10
 	}
 	if d.Stats.PageHits < d.Stats.Accesses*3/4 {
@@ -86,8 +86,8 @@ func TestStreamingMostlyPageHits(t *testing.T) {
 
 func TestMinLatency(t *testing.T) {
 	d := New(DS10LConfig())
-	d.Access(0, 0) // open the row
-	got := d.Access(0, 1_000_000)
+	d.Access(0, false, 0) // open the row
+	got := d.Access(0, false, 1_000_000)
 	if got != d.MinLatency() {
 		t.Errorf("best-case access = %d, MinLatency = %d", got, d.MinLatency())
 	}
@@ -95,13 +95,13 @@ func TestMinLatency(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	d := New(DS10LConfig())
-	d.Access(0, 0)
+	d.Access(0, false, 0)
 	d.Reset()
 	if d.Stats.Accesses != 0 {
 		t.Error("Reset kept stats")
 	}
 	// After reset the row is closed again: empty-page latency.
-	lat := d.Access(0, 1_000_000)
+	lat := d.Access(0, false, 1_000_000)
 	cfg := d.Config()
 	want := cfg.ControllerCycles + (cfg.RASCycles+cfg.CASCycles+cfg.TransferCycles)*cfg.ClockRatio
 	if lat != want {
@@ -116,7 +116,7 @@ func TestQuickLatencyBounds(t *testing.T) {
 	now := uint64(0)
 	f := func(addr uint64, gap uint16) bool {
 		now += uint64(gap)
-		lat := d.Access(addr%(1<<28), now)
+		lat := d.Access(addr%(1<<28), false, now)
 		if lat < d.MinLatency() {
 			return false
 		}

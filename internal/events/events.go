@@ -51,6 +51,9 @@ const (
 	TLBMisses
 	DRAMAccesses
 	Prefetches
+	DRAMRowHits
+	DRAMBankConflicts
+	DRAMQueueWaits
 
 	NumEvents // count sentinel, not an event
 )
@@ -109,6 +112,12 @@ var defs = [NumEvents]Def{
 	TLBMisses:       {"tlb_misses", "events", alphaSide, "TLB misses (table walks)"},
 	DRAMAccesses:    {"dram_accesses", "events", allModels, "DRAM controller accesses"},
 	Prefetches:      {"prefetches", "events", allModels, "I-cache prefetch lines fetched"},
+	// The memory-backend counters (internal/mem.Stats): the flat SDRAM
+	// model reports its page accounting through them; the DDR
+	// controller additionally reports request-queue pressure.
+	DRAMRowHits:       {"dram_row_hits", "events", allModels, "row-buffer (open page) hits at the memory controller"},
+	DRAMBankConflicts: {"dram_bank_conflicts", "events", allModels, "accesses that waited behind earlier work on the same bank"},
+	DRAMQueueWaits:    {"dram_queue_waits", "cycles", allModels, "cycles spent waiting for a bounded per-bank request-queue slot"},
 }
 
 // Name returns the event's canonical counter name.

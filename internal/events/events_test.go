@@ -48,6 +48,7 @@ func TestLegacyAlphaCounterNames(t *testing.T) {
 		"jmp_mispredicts", "loaduse_squashes", "replay_traps",
 		"mbox_traps", "map_stalls", "icache_misses", "dcache_misses",
 		"l2_misses", "tlb_misses", "dram_accesses", "prefetches",
+		"dram_row_hits", "dram_bank_conflicts", "dram_queue_waits",
 	}
 	var c Collector
 	got := c.Counters(ModelAlpha)

@@ -7,7 +7,6 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/dram"
 	"repro/internal/fingerprint"
 	"repro/internal/predict"
 	"repro/internal/vm"
@@ -65,7 +64,7 @@ func (m *Machine) RecordCheckpoints(w core.Workload, positions []uint64) ([]*che
 	}
 	c := cpu.New(w.Prog)
 	cpu.Skip(c, w.FastForward)
-	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), dram.New(m.cfg.DRAM))
+	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), m.memory())
 	bimodal := newBimodal(m.cfg.BimodalBits)
 	warm := warmer(hier, bimodal)
 	compat := m.Compat()

@@ -56,10 +56,30 @@ func DefaultConfig() Config {
 // Machine implements core.Machine.
 type Machine struct {
 	cfg Config
+	// newMem, when set, builds the main-memory backend instead of the
+	// flat SDRAM model from cfg.DRAM (see alpha.Machine for why this
+	// lives outside Config: pinned fingerprints must not change).
+	newMem func() cache.Memory
 }
 
 // New returns a machine for the configuration.
 func New(cfg Config) *Machine { return &Machine{cfg: cfg} }
+
+// NewWithMemory returns a machine whose hierarchy sits on the memory
+// backend the factory builds instead of the flat SDRAM from cfg.DRAM.
+func NewWithMemory(cfg Config, newMem func() cache.Memory) *Machine {
+	m := New(cfg)
+	m.newMem = newMem
+	return m
+}
+
+// memory builds the machine's main-memory backend.
+func (m *Machine) memory() cache.Memory {
+	if m.newMem != nil {
+		return m.newMem()
+	}
+	return dram.New(m.cfg.DRAM)
+}
 
 // Name implements core.Machine.
 func (m *Machine) Name() string { return m.cfg.MachineName }
@@ -73,7 +93,7 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	if err := w.CheckRestore(); err != nil {
 		return core.RunResult{}, err
 	}
-	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), dram.New(m.cfg.DRAM))
+	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), m.memory())
 	bimodal := newBimodal(m.cfg.BimodalBits)
 	cur := core.NewSampleCursor(w.Sample)
 	var src cpu.Source
@@ -94,8 +114,7 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	// model adds to the cycle count is charged where it is added.
 	var col events.Collector
 	cur.SetSync(func(c *events.Collector) {
-		c.Set(events.DRAMAccesses, hier.Mem.Stats.Accesses)
-		c.Set(events.Prefetches, hier.Prefetches)
+		hier.FoldMemEvents(c)
 	})
 	// Functional warming: caches and the (history-free) bimodal
 	// predictor stay warm through sampling skips.
@@ -197,8 +216,7 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	if retired == 0 {
 		return core.RunResult{}, fmt.Errorf("inorder: empty instruction stream")
 	}
-	col.Set(events.DRAMAccesses, hier.Mem.Stats.Accesses)
-	col.Set(events.Prefetches, hier.Prefetches)
+	hier.FoldMemEvents(&col)
 	stack := col.Finish(cycle)
 	res := core.RunResult{
 		Machine:      m.cfg.MachineName,

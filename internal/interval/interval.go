@@ -102,10 +102,30 @@ func (c Config) Check() error {
 // Machine implements core.Machine.
 type Machine struct {
 	cfg Config
+	// newMem, when set, builds the main-memory backend instead of the
+	// flat SDRAM model from cfg.DRAM (see alpha.Machine for why this
+	// lives outside Config: pinned fingerprints must not change).
+	newMem func() cache.Memory
 }
 
 // New returns a machine for the configuration.
 func New(cfg Config) *Machine { return &Machine{cfg: cfg} }
+
+// NewWithMemory returns a machine whose hierarchy sits on the memory
+// backend the factory builds instead of the flat SDRAM from cfg.DRAM.
+func NewWithMemory(cfg Config, newMem func() cache.Memory) *Machine {
+	m := New(cfg)
+	m.newMem = newMem
+	return m
+}
+
+// memory builds the machine's main-memory backend.
+func (m *Machine) memory() cache.Memory {
+	if m.newMem != nil {
+		return m.newMem()
+	}
+	return dram.New(m.cfg.DRAM)
+}
 
 // Name implements core.Machine.
 func (m *Machine) Name() string { return m.cfg.MachineName }
@@ -135,15 +155,31 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	if err := m.cfg.Check(); err != nil {
 		return core.RunResult{}, err
 	}
-	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), dram.New(m.cfg.DRAM))
+	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), m.memory())
 	bimodal := newBimodal(m.cfg.BimodalBits)
 	src := w.Source()
 
 	var retired uint64
 	// Per-component penalty accumulators, in cycles. Kept separate so
-	// the CPI stack attributes each class exactly.
-	var icPen, dcPen, l2Pen, brPen uint64
+	// the CPI stack attributes each class exactly. dramPen holds the
+	// controller-queueing share of memory penalties: cycles the
+	// backend reports as request-queue waits are carved out of the
+	// cache-miss components and charged to the dram component, so a
+	// DDR-backed run's stack shows memory-controller pressure
+	// directly. The flat backend reports no queue waits, so dramPen
+	// is identically zero there and the stack is unchanged.
+	var icPen, dcPen, l2Pen, brPen, dramPen uint64
 	var col events.Collector
+
+	// qwDelta reports the backend queue-wait cycles accrued since the
+	// previous probe that could have touched the controller.
+	var lastQW uint64
+	qwDelta := func() uint64 {
+		q := hier.Mem.MemStats().QueueWaits
+		d := q - lastQW
+		lastQW = q
+		return d
+	}
 
 	lastFetchLine := uint64(1) << 63
 	for {
@@ -153,7 +189,7 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 		}
 		// The estimated clock handed to the hierarchy: base progress
 		// plus everything charged so far. Only DRAM timing reads it.
-		now := retired/uint64(m.cfg.Width) + icPen + dcPen + l2Pen + brPen
+		now := retired/uint64(m.cfg.Width) + icPen + dcPen + l2Pen + brPen + dramPen
 
 		// Fetch: one I-cache probe per line transition. An I-cache
 		// miss ends an interval; the refill is serial with fetch, so
@@ -163,7 +199,17 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 			res, _, _ := hier.Inst(rec.PC, now)
 			if !res.L1Hit {
 				col.Count(events.ICacheMisses, 1)
-				icPen += uint64(res.Latency + res.WalkCycles)
+				pen := uint64(res.Latency + res.WalkCycles)
+				// The refill is serial with fetch: queue waits carve
+				// out of the same fully exposed penalty.
+				if dq := qwDelta(); dq > 0 {
+					if dq > pen {
+						dq = pen
+					}
+					dramPen += dq
+					pen -= dq
+				}
+				icPen += pen
 			}
 			lastFetchLine = line
 		}
@@ -182,6 +228,17 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 					}
 				} else {
 					col.Count(events.L2Misses, 1)
+					// Queue waits overlap like the rest of the long
+					// miss, but are attributed to the controller.
+					if dq := qwDelta(); dq > 0 {
+						if dq > pen {
+							dq = pen
+						}
+						if d := dq / uint64(m.cfg.MemOverlap); d > 0 {
+							dramPen += d
+						}
+						pen -= dq
+					}
 					if p := pen / uint64(m.cfg.MemOverlap); p > 0 {
 						l2Pen += p
 					} else {
@@ -191,8 +248,11 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 			}
 		case rec.Inst.Op.Class().IsStore():
 			// Stores update the hierarchy (they shape later miss
-			// counts) but are priced as fully buffered: no penalty.
+			// counts) but are priced as fully buffered: no penalty —
+			// resync the queue-wait baseline so a store's controller
+			// queueing is not charged to the next load.
 			hier.Data(rec.EA, true, now)
+			qwDelta()
 		case rec.IsBranch():
 			taken := predictTaken(bimodal, rec.PC)
 			train(bimodal, rec.PC, rec.Taken)
@@ -213,14 +273,14 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 
 	// The closed-form estimate: smooth issue plus priced miss events.
 	base := (retired + uint64(m.cfg.Width) - 1) / uint64(m.cfg.Width)
-	cycles := base + icPen + dcPen + l2Pen + brPen
+	cycles := base + icPen + dcPen + l2Pen + brPen + dramPen
 
 	col.Attribute(events.CompICache, icPen)
 	col.Attribute(events.CompDCache, dcPen)
 	col.Attribute(events.CompL2, l2Pen)
 	col.Attribute(events.CompBranch, brPen)
-	col.Set(events.DRAMAccesses, hier.Mem.Stats.Accesses)
-	col.Set(events.Prefetches, hier.Prefetches)
+	col.Attribute(events.CompDRAM, dramPen)
+	hier.FoldMemEvents(&col)
 	stack := col.Finish(cycles)
 	return core.RunResult{
 		Machine:      m.cfg.MachineName,

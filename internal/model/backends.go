@@ -5,8 +5,10 @@ import (
 	"io"
 
 	"repro/internal/alpha"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dcpi"
+	"repro/internal/ddr"
 	"repro/internal/inorder"
 	"repro/internal/interval"
 	"repro/internal/native"
@@ -34,6 +36,38 @@ type (
 	// AlphaPipeTracer receives per-instruction pipeline events when
 	// set on an AlphaConfig.
 	AlphaPipeTracer = alpha.PipeTracer
+	// DDRConfig configures the cycle-accurate DDR memory subsystem a
+	// machine can opt into instead of the flat SDRAM model.
+	DDRConfig = ddr.Config
+)
+
+// The *DDRConfig wrapper types pair a core configuration with a DDR
+// memory subsystem. They exist as distinct types (not extra fields on
+// the core configs) so the pinned fingerprints of the flat-memory
+// backends stay byte-identical: opting into DDR timing produces a new
+// configuration identity instead of mutating an existing one.
+type (
+	// AlphaDDRConfig is a 21264-family machine on the DDR subsystem.
+	AlphaDDRConfig struct {
+		Core AlphaConfig
+		DDR  DDRConfig
+	}
+	// RUUDDRConfig is the RUU model on the DDR subsystem.
+	RUUDDRConfig struct {
+		Core RUUConfig
+		DDR  DDRConfig
+	}
+	// InorderDDRConfig is the in-order model on the DDR subsystem.
+	InorderDDRConfig struct {
+		Core InorderConfig
+		DDR  DDRConfig
+	}
+	// IntervalDDRConfig is the analytical estimator on the DDR
+	// subsystem.
+	IntervalDDRConfig struct {
+		Core IntervalConfig
+		DDR  DDRConfig
+	}
 )
 
 // Canonical configurations, one per registered backend plus the alpha
@@ -68,6 +102,25 @@ func DefaultIntervalConfig() IntervalConfig { return interval.DefaultConfig() }
 
 // DefaultDCPIConfig returns the emulated profiler's configuration.
 func DefaultDCPIConfig() DCPIConfig { return dcpi.DefaultConfig() }
+
+// DefaultDDRConfig returns the DS-10L-calibrated DDR subsystem.
+func DefaultDDRConfig() DDRConfig { return ddr.DS10LDDR() }
+
+// SimAlphaDDRConfig returns the validated 21264 model on the DDR
+// subsystem (the sim-alpha-ddr backend).
+func SimAlphaDDRConfig() AlphaDDRConfig {
+	c := alpha.DefaultConfig()
+	c.MachineName = "sim-alpha-ddr"
+	return AlphaDDRConfig{Core: c, DDR: ddr.DS10LDDR()}
+}
+
+// SimIntervalDDRConfig returns the analytical estimator on the DDR
+// subsystem (the sim-interval-ddr backend).
+func SimIntervalDDRConfig() IntervalDDRConfig {
+	c := interval.DefaultConfig()
+	c.MachineName = "sim-interval-ddr"
+	return IntervalDDRConfig{Core: c, DDR: ddr.DS10LDDR()}
+}
 
 // AlphaFeatures lists the ten removable 21264 features of Tables 4
 // and 5 (addr, eret, luse, pref, spec, stwt, vbuf, maps, slot, trap).
@@ -132,8 +185,43 @@ func Build(cfg any) (core.Machine, error) {
 			return nil, err
 		}
 		return interval.New(c), nil
+	case AlphaDDRConfig:
+		if err := c.Core.Check(); err != nil {
+			return nil, err
+		}
+		if err := c.DDR.Check(); err != nil {
+			return nil, err
+		}
+		return alpha.NewWithMemory(c.Core, newDDR(c.DDR)), nil
+	case RUUDDRConfig:
+		if err := c.Core.Check(); err != nil {
+			return nil, err
+		}
+		if err := c.DDR.Check(); err != nil {
+			return nil, err
+		}
+		return ruu.NewWithMemory(c.Core, newDDR(c.DDR)), nil
+	case InorderDDRConfig:
+		if err := c.DDR.Check(); err != nil {
+			return nil, err
+		}
+		return inorder.NewWithMemory(c.Core, newDDR(c.DDR)), nil
+	case IntervalDDRConfig:
+		if err := c.Core.Check(); err != nil {
+			return nil, err
+		}
+		if err := c.DDR.Check(); err != nil {
+			return nil, err
+		}
+		return interval.NewWithMemory(c.Core, newDDR(c.DDR)), nil
 	}
 	return nil, fmt.Errorf("%w: no builder for config type %T", ErrUnknownBackend, cfg)
+}
+
+// newDDR is the memory-backend factory handed to NewWithMemory: each
+// machine run gets a fresh controller at the given configuration.
+func newDDR(cfg DDRConfig) func() cache.Memory {
+	return func() cache.Memory { return ddr.New(cfg) }
 }
 
 // nativeIdentity content-addresses the reference machine: its inner
@@ -192,5 +280,25 @@ func init() {
 		Tier:        TierAnalytical,
 		Config:      interval.DefaultConfig(),
 		New:         func() core.Machine { return interval.New(interval.DefaultConfig()) },
+	})
+	Register(Descriptor{
+		Name:        "sim-alpha-ddr",
+		Description: "validated 21264 model on the cycle-accurate DDR memory subsystem",
+		Tier:        TierDetailed,
+		Config:      SimAlphaDDRConfig(),
+		New: func() core.Machine {
+			c := SimAlphaDDRConfig()
+			return alpha.NewWithMemory(c.Core, newDDR(c.DDR))
+		},
+	})
+	Register(Descriptor{
+		Name:        "sim-interval-ddr",
+		Description: "analytical interval estimator on the cycle-accurate DDR memory subsystem",
+		Tier:        TierAnalytical,
+		Config:      SimIntervalDDRConfig(),
+		New: func() core.Machine {
+			c := SimIntervalDDRConfig()
+			return interval.NewWithMemory(c.Core, newDDR(c.DDR))
+		},
 	})
 }

@@ -20,6 +20,8 @@ func TestRegistryContents(t *testing.T) {
 		{"sim-outorder", TierSimplified},
 		{"sim-inorder", TierSimplified},
 		{"sim-interval", TierAnalytical},
+		{"sim-alpha-ddr", TierDetailed},
+		{"sim-interval-ddr", TierAnalytical},
 	}
 	got := Backends()
 	if len(got) != len(want) {
@@ -68,13 +70,15 @@ func TestCapabilitiesMatchAssertions(t *testing.T) {
 
 func TestExpectedCapabilities(t *testing.T) {
 	want := map[string]Capabilities{
-		"native-ds10l": {Checkpointable: true, Samplable: true, CPIStack: true},
-		"sim-initial":  {Checkpointable: true, Samplable: true, CPIStack: true},
-		"sim-alpha":    {Checkpointable: true, Samplable: true, CPIStack: true},
-		"sim-stripped": {Checkpointable: true, Samplable: true, CPIStack: true},
-		"sim-outorder": {Checkpointable: true, Samplable: true, CPIStack: true},
-		"sim-inorder":  {Checkpointable: true, Samplable: true, CPIStack: true},
-		"sim-interval": {Checkpointable: false, Samplable: false, CPIStack: true},
+		"native-ds10l":     {Checkpointable: true, Samplable: true, CPIStack: true},
+		"sim-initial":      {Checkpointable: true, Samplable: true, CPIStack: true},
+		"sim-alpha":        {Checkpointable: true, Samplable: true, CPIStack: true},
+		"sim-stripped":     {Checkpointable: true, Samplable: true, CPIStack: true},
+		"sim-outorder":     {Checkpointable: true, Samplable: true, CPIStack: true},
+		"sim-inorder":      {Checkpointable: true, Samplable: true, CPIStack: true},
+		"sim-interval":     {Checkpointable: false, Samplable: false, CPIStack: true},
+		"sim-alpha-ddr":    {Checkpointable: true, Samplable: true, CPIStack: true},
+		"sim-interval-ddr": {Checkpointable: false, Samplable: false, CPIStack: true},
 	}
 	for _, d := range Backends() {
 		if got, w := d.Capabilities(), want[d.Name]; got != w {
@@ -134,6 +138,10 @@ func TestBuild(t *testing.T) {
 		DefaultRUUConfig(),
 		DefaultInorderConfig(),
 		DefaultIntervalConfig(),
+		SimAlphaDDRConfig(),
+		SimIntervalDDRConfig(),
+		RUUDDRConfig{Core: DefaultRUUConfig(), DDR: DefaultDDRConfig()},
+		InorderDDRConfig{Core: DefaultInorderConfig(), DDR: DefaultDDRConfig()},
 	} {
 		m, err := Build(cfg)
 		if err != nil {
@@ -150,6 +158,11 @@ func TestBuild(t *testing.T) {
 	bad.FetchWidth = 0
 	if _, err := Build(bad); err == nil {
 		t.Error("Build accepted a config failing Check")
+	}
+	badDDR := SimAlphaDDRConfig()
+	badDDR.DDR.RowPolicy = "lru"
+	if _, err := Build(badDDR); err == nil {
+		t.Error("Build accepted a DDR config failing Check")
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/dram"
 	"repro/internal/fingerprint"
 	"repro/internal/vm"
 )
@@ -56,7 +55,7 @@ func (m *Machine) RecordCheckpoints(w core.Workload, positions []uint64) ([]*che
 	}
 	c := cpu.New(w.Prog)
 	cpu.Skip(c, w.FastForward)
-	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), dram.New(m.cfg.DRAM))
+	hier := cache.NewHierarchy(m.cfg.Hier, m.cfg.NewMapper(), m.memory())
 	warm := warmer(hier)
 	compat := m.Compat()
 
@@ -111,7 +110,7 @@ func (m *Machine) restoreSim(w core.Workload) (*sim, error) {
 		src = &cpu.Limited{Src: c, Max: w.MaxInstructions}
 	}
 	cur := core.NewSampleCursor(w.Sample)
-	s := newSim(m.cfg, cur.Wrap(src))
+	s := newSim(m.cfg, m.memory(), cur.Wrap(src))
 	s.cur = cur
 	if err := s.hier.ImportWarm(st.Hier); err != nil {
 		return nil, fmt.Errorf("ruu: restore: %w", err)

@@ -137,6 +137,10 @@ func flatDRAM() dram.Config {
 // Machine is an RUU-based timing model implementing core.Machine.
 type Machine struct {
 	cfg Config
+	// newMem, when set, builds the main-memory backend instead of the
+	// flat SDRAM model from cfg.DRAM (see alpha.Machine for why this
+	// lives outside Config: pinned fingerprints must not change).
+	newMem func() cache.Memory
 }
 
 // Check verifies the configuration is runnable.
@@ -167,6 +171,22 @@ func New(cfg Config) *Machine {
 	return &Machine{cfg: cfg}
 }
 
+// NewWithMemory returns a machine whose hierarchy sits on the memory
+// backend the factory builds instead of the flat SDRAM from cfg.DRAM.
+func NewWithMemory(cfg Config, newMem func() cache.Memory) *Machine {
+	m := New(cfg)
+	m.newMem = newMem
+	return m
+}
+
+// memory builds the machine's main-memory backend.
+func (m *Machine) memory() cache.Memory {
+	if m.newMem != nil {
+		return m.newMem()
+	}
+	return dram.New(m.cfg.DRAM)
+}
+
 // Name implements core.Machine.
 func (m *Machine) Name() string { return m.cfg.MachineName }
 
@@ -186,13 +206,12 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 		}
 	} else {
 		cur := core.NewSampleCursor(w.Sample)
-		s = newSim(m.cfg, cur.Wrap(w.Source()))
+		s = newSim(m.cfg, m.memory(), cur.Wrap(w.Source()))
 		s.cur = cur
 	}
 	cur := s.cur
 	cur.SetSync(func(c *events.Collector) {
-		c.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
-		c.Set(events.Prefetches, s.hier.Prefetches)
+		s.hier.FoldMemEvents(c)
 	})
 	// Functional warming: keep the caches warm through sampling skips
 	// (per-line on the I-side, as fetch does). The gshare predictor is
@@ -215,8 +234,7 @@ func (m *Machine) Run(w core.Workload) (core.RunResult, error) {
 	if err := s.run(); err != nil {
 		return core.RunResult{}, fmt.Errorf("%s/%s: %w", m.cfg.MachineName, w.Name, err)
 	}
-	s.col.Set(events.DRAMAccesses, s.hier.Mem.Stats.Accesses)
-	s.col.Set(events.Prefetches, s.hier.Prefetches)
+	s.hier.FoldMemEvents(&s.col)
 	stack := s.col.Finish(s.cycle)
 	res := core.RunResult{
 		Machine:      m.cfg.MachineName,
@@ -371,11 +389,11 @@ type sim struct {
 	cur *core.SampleCursor
 }
 
-func newSim(cfg Config, src cpu.Source) *sim {
+func newSim(cfg Config, mem cache.Memory, src cpu.Source) *sim {
 	s := &sim{
 		cfg:       cfg,
 		src:       src,
-		hier:      cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), dram.New(cfg.DRAM)),
+		hier:      cache.NewHierarchy(cfg.Hier, cfg.NewMapper(), mem),
 		gshare:    make([]predict.SatCounter, 1<<cfg.GShareBits),
 		btb:       newBTB(cfg.BTBSets, cfg.BTBAssoc),
 		ras:       predict.NewRAS(cfg.RASEntries),

@@ -14,8 +14,53 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/diskstore"
 	"repro/internal/workgen"
 )
+
+// workloadStore is the optional persistence face of Config.Tier2 (a
+// diskstore.Store implements it): minted catalogue entries are saved
+// as generation specs, and a restarted server re-mints them, so a
+// `simd -store DIR` keeps serving its generated workload names across
+// restarts. Programs are regenerated from the specs — generation is
+// deterministic by construction, so the restored workload is
+// byte-identical and every cached result for it still addresses.
+type workloadStore interface {
+	SaveWorkloadSpec(diskstore.SavedWorkload) error
+	WorkloadSpecs() ([]diskstore.SavedWorkload, error)
+}
+
+// restoreWorkloads re-mints every persisted generated workload from
+// the attached store, in name order. Restoration is best-effort and
+// idempotent: a spec that fails to regenerate or collides with a
+// builtin is skipped (counted on workgen_restore_errors_total), and
+// re-minting an already-present name is a no-op.
+func (s *Server) restoreWorkloads() {
+	ws, ok := s.cfg.Tier2.(workloadStore)
+	if !ok {
+		return
+	}
+	saved, err := ws.WorkloadSpecs()
+	if err != nil {
+		s.metrics.Counter("workgen_restore_errors_total").Inc()
+		return
+	}
+	for _, sw := range saved {
+		wk, err := workgen.Generate(sw.Spec)
+		if err != nil {
+			s.metrics.Counter("workgen_restore_errors_total").Inc()
+			continue
+		}
+		minted, err := s.mint(wk, sw.Spec, sw.Family, sw.Axis, sw.Level, false)
+		if err != nil {
+			s.metrics.Counter("workgen_restore_errors_total").Inc()
+			continue
+		}
+		if minted {
+			s.metrics.Counter("workgen_restored_total").Inc()
+		}
+	}
+}
 
 // ErrWorkloadExists reports a minted name colliding with an existing
 // non-generated workload. Served as 409 Conflict.
@@ -96,7 +141,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusInternalServerError, "generate %s: %v", m.spec.Name(), err)
 			return
 		}
-		minted, err := s.mint(wk, m.spec, m.fam, m.axis, m.level)
+		minted, err := s.mint(wk, m.spec, m.fam, m.axis, m.level, true)
 		if err != nil {
 			code := http.StatusInternalServerError
 			switch {
@@ -122,8 +167,10 @@ var errMintBudget = errors.New("generated-workload budget exhausted")
 // mint adds one generated workload to the catalogue. It reports
 // whether a new entry was created: re-minting an identical generated
 // spec is a no-op, while any collision with a non-generated entry is
-// ErrWorkloadExists.
-func (s *Server) mint(wk core.Workload, spec workgen.Spec, fam, axis string, level int) (bool, error) {
+// ErrWorkloadExists. With persist set and a workloadStore attached,
+// the spec is also saved (best-effort) so a restart re-mints it;
+// restoration passes persist=false since the spec is already on disk.
+func (s *Server) mint(wk core.Workload, spec workgen.Spec, fam, axis string, level int, persist bool) (bool, error) {
 	s.wlMu.Lock()
 	defer s.wlMu.Unlock()
 	if prev, ok := s.byWork[wk.Name]; ok {
@@ -144,5 +191,14 @@ func (s *Server) mint(wk core.Workload, spec workgen.Spec, fam, axis string, lev
 	s.wlOrder = append(s.wlOrder, wk.Name)
 	s.nGenerated++
 	s.metrics.Counter("workgen_minted_total").Inc()
+	if persist {
+		if ws, ok := s.cfg.Tier2.(workloadStore); ok {
+			if err := ws.SaveWorkloadSpec(diskstore.SavedWorkload{
+				Name: wk.Name, Spec: spec, Family: fam, Axis: axis, Level: level,
+			}); err != nil {
+				s.metrics.Counter("workgen_persist_errors_total").Inc()
+			}
+		}
+	}
 	return true, nil
 }

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/diskstore"
 	"repro/internal/simcache"
 	"repro/internal/workgen"
 )
@@ -315,5 +318,93 @@ func TestGenerateFamilyMintAndSweep(t *testing.T) {
 				t.Fatalf("point %q cell %q is empty", p.Label, c.Workload)
 			}
 		}
+	}
+}
+
+// newStoreServer builds a server backed by a diskstore at dir,
+// simulating one `simd -store dir` process.
+func newStoreServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		CacheEntries:   64,
+		MaxConcurrent:  4,
+		RequestTimeout: 60 * time.Second,
+		Parallelism:    2,
+		Tier2:          st,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestGeneratePersistAcrossRestart is the catalogue-persistence
+// satellite: a workload minted on a store-backed server must still be
+// served by name after a restart (a fresh Server over the same store
+// directory), re-minting it must stay idempotent, and the diskstore
+// corruption counter must surface on /metrics.
+func TestGeneratePersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newStoreServer(t, dir)
+
+	spec := workgen.DefaultSpec()
+	spec.Iters = 300
+	if code, out := postGenerate(t, ts1.URL, specBody(t, spec)); code != http.StatusCreated || !out.Workloads[0].Minted {
+		t.Fatalf("mint = %d %+v", code, out.Workloads)
+	}
+	if n := s1.Metrics().Counter("workgen_persist_errors_total").Value(); n != 0 {
+		t.Fatalf("persist errors on mint: %d", n)
+	}
+	ts1.Close()
+
+	// Plant one rotten spec file beside the real one: restore must
+	// skip it, count it, and still serve the good workload.
+	if err := os.WriteFile(filepath.Join(dir, "workloads", "junk.json"), []byte("{rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same store directory.
+	s2, ts2 := newStoreServer(t, dir)
+	if n := s2.Metrics().Counter("workgen_restored_total").Value(); n != 1 {
+		t.Fatalf("workgen_restored_total = %d, want 1", n)
+	}
+
+	_, _, body := get(t, ts2.URL+"/v1/workloads")
+	var infos []workloadInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, wi := range infos {
+		if wi.Name == spec.Name() {
+			found = true
+			if !wi.Generated {
+				t.Errorf("restored workload not marked generated: %+v", wi)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("restored catalogue is missing %q", spec.Name())
+	}
+
+	// The restored name runs like any builtin.
+	code, _, body := get(t, fmt.Sprintf("%s/v1/run?machine=sim-alpha&workload=%s&limit=3000", ts2.URL, spec.Name()))
+	if code != http.StatusOK {
+		t.Fatalf("run restored workload = %d: %s", code, body)
+	}
+
+	// Re-minting the restored spec is idempotent, not a conflict.
+	if code, out := postGenerate(t, ts2.URL, specBody(t, spec)); code != http.StatusCreated || out.Workloads[0].Minted {
+		t.Fatalf("re-mint after restore = %d %+v, want 201 minted=false", code, out.Workloads)
+	}
+
+	// The rotten spec surfaced on the store's corruption counter, and
+	// /metrics mirrors it as diskstore_corrupt_total.
+	_, _, body = get(t, ts2.URL+"/metrics")
+	if !strings.Contains(string(body), "diskstore_corrupt_total 1") {
+		t.Fatalf("/metrics missing diskstore_corrupt_total 1:\n%s", body)
 	}
 }

@@ -207,6 +207,7 @@ func New(cfg Config) *Server {
 	if cfg.Tier2 != nil {
 		s.cache.SetTier2(cfg.Tier2)
 	}
+	s.restoreWorkloads()
 	if len(cfg.Workers) > 0 {
 		s.dispatch = newDispatcher(cfg.Workers, cfg.StealAfter, s.metrics)
 	}
@@ -299,6 +300,21 @@ func (s *Server) metricsHandler() http.Handler {
 		t2 := s.metrics.Counter("cache_tier2_hits_total")
 		if d := st.Tier2Hits - t2.Value(); d > 0 {
 			t2.Add(d)
+		}
+		// Mirror the on-disk tier's integrity accounting when one is
+		// attached: entries rejected by read-time digest verification
+		// (served as recomputable misses) and failed best-effort writes.
+		if ds, ok := s.cfg.Tier2.(interface{ CorruptReads() uint64 }); ok {
+			c := s.metrics.Counter("diskstore_corrupt_total")
+			if d := ds.CorruptReads() - c.Value(); d > 0 {
+				c.Add(d)
+			}
+		}
+		if ds, ok := s.cfg.Tier2.(interface{ PutErrors() uint64 }); ok {
+			c := s.metrics.Counter("diskstore_put_errors_total")
+			if d := ds.PutErrors() - c.Value(); d > 0 {
+				c.Add(d)
+			}
 		}
 		inner.ServeHTTP(w, r)
 	})

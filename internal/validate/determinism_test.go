@@ -1,9 +1,11 @@
 package validate
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
+	"repro/internal/macrobench"
 	"repro/internal/model"
 	"repro/internal/simcache"
 )
@@ -179,6 +181,67 @@ func TestStabilityDeterminism(t *testing.T) {
 	if s.String() != w.String() {
 		t.Errorf("Stability output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
 			s.String(), w.String())
+	}
+}
+
+// TestMemoryDeterminism holds the memory-error experiment — the DDR
+// calibration descent, both error grids, and the tier comparison —
+// to the merge-determinism guarantee: byte-identical rendered output
+// on one worker and on eight, and across repeated runs. The DDR
+// controller carries much more internal state (per-bank queues, rank
+// activation ledgers, channel bus reservations) than the flat model,
+// so any of it leaking between runs or depending on scheduling shows
+// up here.
+func TestMemoryDeterminism(t *testing.T) {
+	serial := quick
+	serial.Parallelism = 1
+	wide := quick
+	wide.Parallelism = 8
+
+	s, err := Memory(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Memory(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != w.String() {
+		t.Errorf("Memory output depends on parallelism\n--- j=1 ---\n%s--- j=8 ---\n%s",
+			s.String(), w.String())
+	}
+	again, err := Memory(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.String() != again.String() {
+		t.Errorf("Memory output differs between repeated runs")
+	}
+}
+
+// TestDDRBackedRunDeterminism pins DDR-backed machines themselves (as
+// opposed to the experiment built on them): fresh builds of the
+// sim-alpha-ddr and sim-interval-ddr backends replay a workload to
+// bit-identical results, counters included.
+func TestDDRBackedRunDeterminism(t *testing.T) {
+	for _, name := range []string{"sim-alpha-ddr", "sim-interval-ddr"} {
+		d, err := model.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := quick.apply(macrobench.Suite())
+		w := ws[0]
+		a, err := d.New().Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.New().Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s replay diverged on %s:\n  %+v\nvs\n  %+v", name, w.Name, a, b)
+		}
 	}
 }
 

@@ -165,6 +165,37 @@ func TestGoldenAttribution(t *testing.T) {
 	checkGolden(t, "attribution", res.String())
 }
 
+// TestGoldenMemory covers the memory-error experiment (outside the
+// results_full.txt nine). Beyond byte-stability, the blessed
+// operating point must exhibit the experiment's acceptance claims:
+// the DDR calibration descent strictly improves its objective, the
+// calibrated DDR model beats the flat model's mean |CPI error| on the
+// memory-bound macrobenchmarks, and at least one row-policy or
+// scheduler conclusion flips between the detailed and analytical
+// tiers.
+func TestGoldenMemory(t *testing.T) {
+	res, err := Memory(goldenOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cal.FinalErr >= res.Cal.StartErr {
+		t.Errorf("DDR calibration did not improve: start %.2f%%, final %.2f%%",
+			res.Cal.StartErr, res.Cal.FinalErr)
+	}
+	if res.CalMemErr >= res.FlatMemErr {
+		t.Errorf("calibrated DDR does not beat flat DRAM on memory-bound macrobenchmarks: flat %.2f%%, ddr-cal %.2f%%",
+			res.FlatMemErr, res.CalMemErr)
+	}
+	if res.CalMemErr >= res.DefMemErr {
+		t.Errorf("calibration did not reduce the DDR model's macro error: default %.2f%%, calibrated %.2f%%",
+			res.DefMemErr, res.CalMemErr)
+	}
+	if len(res.Flips) == 0 {
+		t.Errorf("no controller conclusion flips between the detailed and analytical tiers")
+	}
+	checkGolden(t, "memory", res.String())
+}
+
 // checkGolden compares a rendering against its blessed file in
 // testdata/, rewriting the file under -update.
 func checkGolden(t *testing.T, name, got string) {

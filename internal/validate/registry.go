@@ -52,6 +52,8 @@ var registry = []Experiment{
 		func(o Options) (fmt.Stringer, error) { return Stability(o) }},
 	{"attribution", "Single-feature attribution on generated cliff suites (detailed vs analytical)",
 		func(o Options) (fmt.Stringer, error) { return Attribution(o) }},
+	{"memory", "Memory-system error: flat DRAM vs calibrated cycle-accurate DDR",
+		func(o Options) (fmt.Stringer, error) { return Memory(o) }},
 }
 
 // Experiments returns every registered experiment in paper order.

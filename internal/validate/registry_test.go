@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "sampling", "memcal",
 		"table3", "table4", "table5", "figure2", "mapping",
 		"breakdown", "sweep", "calibration", "sampled", "stability",
-		"attribution",
+		"attribution", "memory",
 	}
 	got := ExperimentNames()
 	if len(got) != len(want) {

@@ -92,6 +92,12 @@ func SimInorder() Machine { return model.MustNew("sim-inorder") }
 // where its conclusions diverge from the detailed model's.
 func SimInterval() Machine { return model.MustNew("sim-interval") }
 
+// SimAlphaDDR returns sim-alpha with the flat DRAM latency table
+// replaced by the cycle-accurate DDR memory subsystem (banked, with
+// row-buffer policies and controller scheduling — internal/ddr). The
+// memory experiment quantifies what the flat model gets wrong.
+func SimAlphaDDR() Machine { return model.MustNew("sim-alpha-ddr") }
+
 // Backend describes one registered timing model: name, description,
 // fidelity tier, and discovered capability flags.
 type Backend = model.Descriptor
